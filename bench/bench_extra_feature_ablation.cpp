@@ -1,0 +1,132 @@
+// Extension experiment (beyond the paper's Figure 13): which classes of
+// basic features carry T3's accuracy? We retrain with individual feature
+// kinds zeroed out — percentages, absolute cardinalities, tuple sizes,
+// predicate-class percentages — and report the accuracy loss. Also prints
+// the main model's top features by split count.
+
+#include "bench_util.h"
+#include "features/feature_registry.h"
+
+namespace t3 {
+namespace {
+
+/// Zeroes all features of the given kinds in a copy of `examples`.
+std::vector<QueryExample> MaskKinds(const std::vector<QueryExample>& examples,
+                                    const std::vector<FeatureKind>& kinds) {
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  std::vector<size_t> masked;
+  for (int i = 0; i < registry.num_features(); ++i) {
+    for (FeatureKind kind : kinds) {
+      if (registry.def(i).kind == kind) {
+        masked.push_back(static_cast<size_t>(i));
+      }
+    }
+  }
+  std::vector<QueryExample> out;
+  out.reserve(examples.size());
+  for (const QueryExample& example : examples) {
+    QueryExample copy;
+    copy.total_seconds = example.total_seconds;
+    for (const PipelineExample& pipeline : example.pipelines) {
+      PipelineExample pcopy = pipeline;
+      for (size_t index : masked) pcopy.features.values[index] = 0;
+      copy.pipelines.push_back(std::move(pcopy));
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+QErrorSummary EvaluateMasked(const T3Model& model,
+                             const std::vector<const QueryRecord*>& records,
+                             const std::vector<FeatureKind>& kinds) {
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  std::vector<size_t> masked;
+  for (int i = 0; i < registry.num_features(); ++i) {
+    for (FeatureKind kind : kinds) {
+      if (registry.def(i).kind == kind) masked.push_back(static_cast<size_t>(i));
+    }
+  }
+  std::vector<double> qerrors;
+  for (const QueryRecord* record : records) {
+    std::vector<PipelineFeatures> features = record->feat_true;
+    for (auto& f : features) {
+      for (size_t index : masked) f.values[index] = 0;
+    }
+    const double pred = model.PredictQuerySeconds(features);
+    qerrors.push_back(QError(pred, record->median_seconds, 1e-7));
+  }
+  return SummarizeQErrors(qerrors);
+}
+
+void Run() {
+  Workbench& workbench = bench::SharedWorkbench();
+  const Corpus& corpus = workbench.corpus();
+  const auto train_records = SelectRecords(corpus, bench::IsTrain);
+  const auto test_records = SelectRecords(corpus, bench::IsTest);
+  const auto train_examples =
+      RecordsToExamples(train_records, CardinalityMode::kTrue);
+
+  struct Variant {
+    const char* label;
+    std::vector<FeatureKind> masked;
+  };
+  const std::vector<Variant> variants = {
+      {"full feature set (T3)", {}},
+      {"no percentages",
+       {FeatureKind::kInPercentage, FeatureKind::kRightPercentage,
+        FeatureKind::kOutPercentage}},
+      {"no absolute cardinalities",
+       {FeatureKind::kInCard, FeatureKind::kOutCard}},
+      {"no tuple sizes", {FeatureKind::kInSize, FeatureKind::kOutSize}},
+      {"no predicate-class percentages",
+       {FeatureKind::kPredicatePercentage}},
+      {"counts only",
+       {FeatureKind::kInPercentage, FeatureKind::kRightPercentage,
+        FeatureKind::kOutPercentage, FeatureKind::kInCard,
+        FeatureKind::kOutCard, FeatureKind::kInSize, FeatureKind::kOutSize,
+        FeatureKind::kPredicatePercentage}},
+  };
+
+  PrintExperimentHeader(
+      "Extension: feature-group ablation",
+      "not in the paper; quantifies each basic-feature class's contribution "
+      "to T3's accuracy (Section 3 motivates percentage as the most used "
+      "feature).");
+  ReportTable table({"Variant", "p50", "p90", "Avg"});
+  for (const Variant& variant : variants) {
+    const std::string name =
+        std::string("feat_ablation_") +
+        (variant.masked.empty() ? "full" : variant.label);
+    auto model = T3Model::Train(MaskKinds(train_examples, variant.masked),
+                                T3Config());
+    T3_CHECK(model.ok()) << model.status().ToString();
+    const QErrorSummary summary =
+        EvaluateMasked(**model, test_records, variant.masked);
+    table.AddRow({variant.label, bench::FormatQ(summary.p50),
+                  bench::FormatQ(summary.p90), bench::FormatQ(summary.avg)});
+  }
+  table.Print();
+
+  // Top features of the main model by split count.
+  const T3Model& main = workbench.MainModel();
+  const std::vector<int> splits = FeatureSplitCounts(main.forest());
+  std::vector<std::pair<int, size_t>> ranked;
+  for (size_t i = 0; i < splits.size(); ++i) ranked.emplace_back(splits[i], i);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("\ntop 12 features of the main model by split count:\n");
+  for (size_t i = 0; i < 12 && i < ranked.size(); ++i) {
+    std::printf("  %5d  %s\n", ranked[i].first,
+                FeatureRegistry::Get()
+                    .def(static_cast<int>(ranked[i].second))
+                    .name.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace t3
+
+int main() {
+  t3::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 13: the ablation of T3's two core representation ideas.
+// Variants: (1) per-tuple prediction per pipeline (T3), (2) direct
+// per-pipeline time prediction, (3) a single summed feature vector per
+// query. Trained on all non-test records, evaluated on all TPC-DS-like
+// test queries with exact cardinalities.
+
+#include "bench_util.h"
+
+namespace t3 {
+namespace {
+
+void Run() {
+  Workbench& workbench = bench::SharedWorkbench();
+  const auto test_records =
+      SelectRecords(workbench.corpus(), bench::IsTest);
+
+  auto config_for = [](PredictionTarget target) {
+    T3Config config;
+    config.target = target;
+    return config;
+  };
+  const T3Model& per_tuple = workbench.MainModel();
+  const T3Model& per_pipeline = workbench.GetModel(
+      "ablation_per_pipeline", CardinalityMode::kTrue, bench::IsTrain,
+      config_for(PredictionTarget::kPerPipeline));
+  const T3Model& per_query = workbench.GetModel(
+      "ablation_per_query", CardinalityMode::kTrue, bench::IsTrain,
+      config_for(PredictionTarget::kPerQuery));
+
+  PrintExperimentHeader(
+      "Figure 13: Prediction-target ablation (per tuple / per pipeline / "
+      "per query)",
+      "the paper finds per-tuple targets considerably better than direct "
+      "per-pipeline prediction, and per-pipeline vectors much better than "
+      "one summed vector per query.");
+  ReportTable table({"Variant", "n", "p50", "p90", "Avg"});
+  auto row = [&](const char* label, const T3Model& model) {
+    const QErrorSummary summary =
+        Summarize(EvaluateModel(model, test_records, CardinalityMode::kTrue));
+    table.AddRow({label, StrFormat("%zu", summary.count),
+                  bench::FormatQ(summary.p50), bench::FormatQ(summary.p90),
+                  bench::FormatQ(summary.avg)});
+  };
+  row("per tuple, per pipeline (T3)", per_tuple);
+  row("per pipeline time", per_pipeline);
+  row("per query (summed vector)", per_query);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace t3
+
+int main() {
+  t3::Run();
+  return 0;
+}

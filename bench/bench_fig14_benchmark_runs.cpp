@@ -1,0 +1,41 @@
+// Reproduces Figure 14: model accuracy as a function of how many benchmark
+// runs per query form the training target (median of the first k runs,
+// k = 1 .. all stored runs).
+
+#include "bench_util.h"
+
+namespace t3 {
+namespace {
+
+void Run() {
+  Workbench& workbench = bench::SharedWorkbench();
+  const Corpus& corpus = workbench.corpus();
+  const auto test_records = SelectRecords(corpus, bench::IsTest);
+  const int total_runs =
+      static_cast<int>(corpus.records.front().run_seconds.size());
+
+  PrintExperimentHeader(
+      "Figure 14: Model accuracy for different numbers of benchmark runs",
+      "the paper finds no evidence that repeated benchmark runs improve the "
+      "model: accuracy is flat in the number of runs used for the training "
+      "targets.");
+  ReportTable table({"Runs used", "p50", "p90", "Avg"});
+  for (int runs = 1; runs <= total_runs; ++runs) {
+    const T3Model& model =
+        workbench.GetModel(StrFormat("runs_%d", runs), CardinalityMode::kTrue,
+                           bench::IsTrain, T3Config(), runs);
+    const QErrorSummary summary =
+        Summarize(EvaluateModel(model, test_records, CardinalityMode::kTrue));
+    table.AddRow({StrFormat("%d", runs), bench::FormatQ(summary.p50),
+                  bench::FormatQ(summary.p90), bench::FormatQ(summary.avg)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace t3
+
+int main() {
+  t3::Run();
+  return 0;
+}

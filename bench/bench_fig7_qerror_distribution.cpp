@@ -1,0 +1,48 @@
+// Reproduces Figure 7: the frequency distribution of q-errors of T3
+// predictions on all TPC-DS-like test queries.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace t3 {
+namespace {
+
+void Run() {
+  Workbench& workbench = bench::SharedWorkbench();
+  const T3Model& t3 = workbench.MainModel();
+  const auto records =
+      SelectRecords(workbench.corpus(), bench::IsTest);
+  const auto evals = EvaluateModel(t3, records, CardinalityMode::kTrue);
+  const std::vector<double> qerrors = QErrors(evals);
+
+  PrintExperimentHeader(
+      "Figure 7: Frequency distribution of q-errors on TPC-DS test queries",
+      "the paper shows most mass just above 1 with few but heavy outliers — "
+      "which is why avg far exceeds p50 in Table 4.");
+  // q-errors start at 1; log-scale buckets from 1 to the max.
+  const LogHistogram hist = BuildLogHistogram(qerrors, 0.0, 2.0, 16);
+  size_t max_count = 1;
+  for (size_t c : hist.buckets) max_count = std::max(max_count, c);
+  for (size_t b = 0; b < hist.buckets.size(); ++b) {
+    const double edge = hist.BucketLowerEdge(b);
+    const size_t bar = hist.buckets[b] * 50 / max_count;
+    std::printf("q>=%-7.2f | %-50s %zu\n", edge,
+                std::string(bar, '#').c_str(), hist.buckets[b]);
+  }
+  const QErrorSummary summary = SummarizeQErrors(qerrors);
+  std::printf("\n%s\n", summary.ToString().c_str());
+  size_t within_2 = 0;
+  for (double q : qerrors) within_2 += q <= 2.0 ? 1 : 0;
+  std::printf("queries with q-error <= 2: %.1f%%\n",
+              100.0 * static_cast<double>(within_2) /
+                  static_cast<double>(qerrors.size()));
+}
+
+}  // namespace
+}  // namespace t3
+
+int main() {
+  t3::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 9: generalization across database instances. For every
+// instance family, T3 is trained on all other families and evaluated on the
+// left-out one.
+
+#include <set>
+
+#include "bench_util.h"
+
+namespace t3 {
+namespace {
+
+/// Family = instance name up to the last '_' (e.g. "tpch_sf1" -> "tpch").
+std::string FamilyOf(const std::string& instance) {
+  const size_t pos = instance.rfind('_');
+  return pos == std::string::npos ? instance : instance.substr(0, pos);
+}
+
+void Run() {
+  Workbench& workbench = bench::SharedWorkbench();
+  const Corpus& corpus = workbench.corpus();
+
+  std::set<std::string> families;
+  for (const QueryRecord& record : corpus.records) {
+    families.insert(FamilyOf(record.instance));
+  }
+
+  PrintExperimentHeader(
+      "Figure 9: Q-errors per left-out database instance family",
+      "train on all but one instance family, evaluate the left-out one; the "
+      "paper finds p50 stable across instances with more variance in "
+      "p90/avg.");
+  ReportTable table({"Left-out family", "n", "p50", "p90", "Avg"});
+  for (const std::string& family : families) {
+    auto in_family = [&family](const QueryRecord& r) {
+      return FamilyOf(r.instance) == family;
+    };
+    const T3Model& model = workbench.GetModel(
+        "loo_" + family, CardinalityMode::kTrue,
+        [&](const QueryRecord& r) { return !in_family(r); });
+    const auto eval_records = SelectRecords(corpus, in_family);
+    const QErrorSummary summary =
+        Summarize(EvaluateModel(model, eval_records, CardinalityMode::kTrue));
+    table.AddRow({family, StrFormat("%zu", summary.count),
+                  bench::FormatQ(summary.p50), bench::FormatQ(summary.p90),
+                  bench::FormatQ(summary.avg)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace t3
+
+int main() {
+  t3::Run();
+  return 0;
+}

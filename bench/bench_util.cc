@@ -1,0 +1,29 @@
+#include "bench_util.h"
+
+#include "harness/runner.h"
+#include "querygen/suites.h"
+
+namespace t3 {
+namespace bench {
+
+JobWorkload BuildJobWorkload(int runs) {
+  JobWorkload workload;
+  for (const InstanceSpec& spec : StandardCorpus()) {
+    if (spec.family == SchemaFamily::kImdbLike) {
+      workload.db = GenerateInstance(spec);
+      break;
+    }
+  }
+  T3_CHECK(workload.db != nullptr);
+  std::vector<GeneratedQuery> suite = JobLikeSuite(*workload.db);
+  for (auto& query : suite) {
+    auto bench_result = BenchmarkQuery(*workload.db, &query.plan, runs);
+    if (!bench_result.ok()) continue;  // drop queries the engine rejects
+    workload.median_seconds.push_back(bench_result->median_seconds);
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
+
+}  // namespace bench
+}  // namespace t3

@@ -1,0 +1,88 @@
+#ifndef T3_BENCH_BENCH_UTIL_H_
+#define T3_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "harness/corpus.h"
+#include "harness/evaluate.h"
+#include "harness/report.h"
+#include "harness/workbench.h"
+
+namespace t3 {
+namespace bench {
+
+/// The shared workbench of all experiment binaries. Every bench binary run
+/// from the repository root reuses the cache in ./data.
+inline Workbench& SharedWorkbench() {
+  static Workbench* workbench = new Workbench("data");
+  return *workbench;
+}
+
+// --- Record filters of the standard evaluation splits. ---
+
+inline bool IsTrain(const QueryRecord& r) { return !r.is_test; }
+inline bool IsTest(const QueryRecord& r) { return r.is_test; }
+inline bool IsTestFixed(const QueryRecord& r) {
+  return r.is_test && r.fixed_suite;
+}
+inline bool IsJobSuite(const QueryRecord& r) {
+  return r.fixed_suite && r.instance.rfind("imdb", 0) == 0;
+}
+
+/// Median wall-clock latency (seconds) of `fn` over `iterations` calls,
+/// after `warmup` unmeasured calls. Measures each call individually, which
+/// is what "single query prediction latency" means in the paper.
+inline double MedianLatencySeconds(const std::function<void()>& fn,
+                                   int iterations = 2000, int warmup = 200) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  return Median(samples);
+}
+
+/// Throughput in calls/second of `fn` measured over a fixed wall budget.
+inline double Throughput(const std::function<void()>& fn,
+                         double budget_seconds = 0.5) {
+  // Warm up.
+  for (int i = 0; i < 100; ++i) fn();
+  Stopwatch timer;
+  int64_t calls = 0;
+  while (timer.ElapsedSeconds() < budget_seconds) {
+    for (int i = 0; i < 50; ++i) fn();
+    calls += 50;
+  }
+  return static_cast<double>(calls) / timer.ElapsedSeconds();
+}
+
+/// The JOB-like workload rebuilt with full plans (the corpus drops plans;
+/// Figures 12 and Tables 5/6 need them). Deterministic: regenerates the
+/// corpus's IMDB-like instance and fixed suite.
+struct JobWorkload {
+  std::unique_ptr<Database> db;
+  std::vector<GeneratedQuery> queries;        // plans annotated (est + true)
+  std::vector<double> median_seconds;         // measured, `runs` runs
+};
+
+JobWorkload BuildJobWorkload(int runs = 3);
+
+inline std::string FormatSeconds(double seconds) {
+  return FormatDuration(seconds * 1e9);
+}
+
+inline std::string FormatQ(double q) { return StrFormat("%.2f", q); }
+
+}  // namespace bench
+}  // namespace t3
+
+#endif  // T3_BENCH_BENCH_UTIL_H_
