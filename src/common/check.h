@@ -1,0 +1,25 @@
+#ifndef T3_COMMON_CHECK_H_
+#define T3_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// T3_CHECK(cond) aborts with a source location when `cond` is false.
+///
+/// Used for invariants whose violation means a programming error (tests,
+/// benches, internal consistency). Recoverable conditions — bad input files,
+/// unsupported platforms, resource exhaustion — use Status/Result instead
+/// (see common/status.h).
+#define T3_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "T3_CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// T3_CHECK_OK(expr) aborts when a Status or Result<T> expression is not ok.
+#define T3_CHECK_OK(expr) T3_CHECK((expr).ok())
+
+#endif  // T3_COMMON_CHECK_H_

@@ -1,0 +1,93 @@
+#ifndef T3_COMMON_RANDOM_H_
+#define T3_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace t3 {
+
+/// Deterministic PRNG: xoshiro256** seeded through SplitMix64.
+///
+/// Every random choice in the system (data generation, query sampling,
+/// train/validation splits, synthetic forests in benches) goes through Rng so
+/// that runs are reproducible bit-for-bit across platforms and compilers —
+/// unlike std::mt19937 + std::uniform_*_distribution, whose distribution
+/// implementations are library-defined.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit xoshiro state; this
+    // is the seeding procedure recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (uint64_t& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64 random bits (xoshiro256**).
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1), 53 bits of precision.
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) { return lo + (hi - lo) * Unit(); }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+    const uint64_t reject_above = UINT64_MAX - UINT64_MAX % range - 1;
+    uint64_t r = Next();
+    while (r > reject_above) r = Next();
+    return lo + static_cast<int64_t>(r % range);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Unit() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; no cached spare so
+  /// the stream position stays simple to reason about).
+  double Gaussian(double mean, double stddev) {
+    double u = Unit();
+    while (u <= 0.0) u = Unit();
+    const double v = Unit();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    return mean + stddev * r * std::cos(6.283185307179586477 * v);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace t3
+
+#endif  // T3_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace t3 {
+
+double Mean(const std::vector<double>& values) {
+  T3_CHECK(!values.empty());
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  T3_CHECK(!values.empty());
+  T3_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+}  // namespace t3

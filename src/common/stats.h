@@ -1,0 +1,25 @@
+#ifndef T3_COMMON_STATS_H_
+#define T3_COMMON_STATS_H_
+
+#include <vector>
+
+namespace t3 {
+
+/// Arithmetic mean. Requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double Stddev(const std::vector<double>& values);
+
+/// Quantile q in [0, 1] with linear interpolation between order statistics
+/// (the same convention as numpy's default). Takes its argument by value
+/// because it sorts a copy. Requires a non-empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Median == Quantile(values, 0.5): mean of the two middle order statistics
+/// for even-sized inputs.
+double Median(std::vector<double> values);
+
+}  // namespace t3
+
+#endif  // T3_COMMON_STATS_H_

@@ -1,0 +1,26 @@
+#ifndef T3_COMMON_STRING_UTIL_H_
+#define T3_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace t3 {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character delimiter; keeps empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Human-readable duration from nanoseconds: "812ns", "4.20us", "1.35ms",
+/// "2.10s". The unit is chosen so the mantissa is < 1000.
+std::string FormatDuration(double nanos);
+
+}  // namespace t3
+
+#endif  // T3_COMMON_STRING_UTIL_H_

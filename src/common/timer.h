@@ -1,0 +1,33 @@
+#ifndef T3_COMMON_TIMER_H_
+#define T3_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace t3 {
+
+/// Wall-clock stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace t3
+
+#endif  // T3_COMMON_TIMER_H_

@@ -1,0 +1,309 @@
+#include "gbt/forest.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace t3 {
+
+double PredictTree(const Tree& tree, const double* row) {
+  int index = 0;
+  while (true) {
+    const TreeNode& node = tree.nodes[static_cast<size_t>(index)];
+    if (node.is_leaf) return node.value;
+    index = GoesLeft(node, row[node.feature]) ? node.left : node.right;
+  }
+}
+
+double Forest::Predict(const double* row) const {
+  double sum = base_score;
+  for (const Tree& tree : trees) sum += PredictTree(tree, row);
+  return sum;
+}
+
+size_t Forest::NumNodes() const {
+  size_t n = 0;
+  for (const Tree& tree : trees) n += tree.nodes.size();
+  return n;
+}
+
+size_t Forest::NumLeaves() const {
+  size_t n = 0;
+  for (const Tree& tree : trees) {
+    for (const TreeNode& node : tree.nodes) n += node.is_leaf ? 1 : 0;
+  }
+  return n;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+/// Whitespace-separated token reader over the raw file contents. Faster and
+/// less allocation-happy than istringstream on the ~12k-line model files and
+/// the ~200k-line corpus.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view text) : pos_(text.data()), end_(text.data() + text.size()) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == end_;
+  }
+
+  /// Next whitespace-delimited token; empty at end of input.
+  std::string_view NextToken() {
+    SkipSpace();
+    const char* start = pos_;
+    while (pos_ != end_ && !IsSpace(*pos_)) ++pos_;
+    return std::string_view(start, static_cast<size_t>(pos_ - start));
+  }
+
+  bool NextDouble(double* out) {
+    SkipSpace();
+    if (pos_ == end_) return false;
+    char* after = nullptr;
+    errno = 0;
+    *out = std::strtod(pos_, &after);
+    if (after == pos_) return false;
+    pos_ = after;
+    return true;
+  }
+
+  bool NextInt(int64_t* out) {
+    SkipSpace();
+    if (pos_ == end_) return false;
+    char* after = nullptr;
+    errno = 0;
+    *out = std::strtoll(pos_, &after, 10);
+    if (after == pos_) return false;
+    pos_ = after;
+    return true;
+  }
+
+ private:
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  void SkipSpace() {
+    while (pos_ != end_ && IsSpace(*pos_)) ++pos_;
+  }
+
+  // strtod/strtoll need NUL-terminated input; callers keep the backing
+  // string alive and it is always NUL-terminated (std::string::data()).
+  const char* pos_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string Forest::ToText() const {
+  std::string out;
+  out.reserve(64 + NumNodes() * 48);
+  out += "t3gbt v1\n";
+  out += StrFormat("num_features %d\n", num_features);
+  out += "base_score ";
+  AppendDouble(&out, base_score);
+  out += "\n";
+  out += StrFormat("num_trees %zu\n", trees.size());
+  for (const Tree& tree : trees) {
+    out += StrFormat("tree %zu\n", tree.nodes.size());
+    for (const TreeNode& node : tree.nodes) {
+      if (node.is_leaf) {
+        out += "1 -1 0 -1 -1 ";
+        AppendDouble(&out, node.value);
+      } else {
+        out += "0 ";
+        out += StrFormat("%d ", node.feature);
+        AppendDouble(&out, node.threshold);
+        out += StrFormat(" %d %d %d", node.left, node.right,
+                         node.default_left ? 1 : 0);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<Forest> Forest::FromText(std::string_view text) {
+  TokenCursor cursor(text);
+  std::string_view token = cursor.NextToken();
+  // Model files wrap the forest with a one-line T3 model header; skip it so
+  // Forest::LoadFromFile works on data/model_*.txt directly.
+  if (token == "t3model") {
+    if (cursor.NextToken() != "target") {
+      return InvalidArgumentError("t3model header: expected 'target'");
+    }
+    int64_t ignored = 0;
+    if (!cursor.NextInt(&ignored)) {
+      return InvalidArgumentError("t3model header: missing target id");
+    }
+    token = cursor.NextToken();
+  }
+  if (token != "t3gbt" || cursor.NextToken() != "v1") {
+    return InvalidArgumentError("not a t3gbt v1 forest file");
+  }
+
+  Forest forest;
+  int64_t num_trees = 0;
+  if (cursor.NextToken() != "num_features") {
+    return InvalidArgumentError("expected num_features");
+  }
+  int64_t num_features = 0;
+  if (!cursor.NextInt(&num_features) || num_features <= 0) {
+    return InvalidArgumentError("bad num_features");
+  }
+  forest.num_features = static_cast<int>(num_features);
+  if (cursor.NextToken() != "base_score" ||
+      !cursor.NextDouble(&forest.base_score)) {
+    return InvalidArgumentError("bad base_score");
+  }
+  if (cursor.NextToken() != "num_trees" || !cursor.NextInt(&num_trees) ||
+      num_trees < 0) {
+    return InvalidArgumentError("bad num_trees");
+  }
+
+  forest.trees.reserve(static_cast<size_t>(num_trees));
+  for (int64_t t = 0; t < num_trees; ++t) {
+    if (cursor.NextToken() != "tree") {
+      return InvalidArgumentError(StrFormat("tree %lld: missing header",
+                                            static_cast<long long>(t)));
+    }
+    int64_t num_nodes = 0;
+    if (!cursor.NextInt(&num_nodes) || num_nodes <= 0) {
+      return InvalidArgumentError(StrFormat("tree %lld: bad node count",
+                                            static_cast<long long>(t)));
+    }
+    Tree tree;
+    tree.nodes.resize(static_cast<size_t>(num_nodes));
+    for (int64_t n = 0; n < num_nodes; ++n) {
+      TreeNode& node = tree.nodes[static_cast<size_t>(n)];
+      int64_t is_leaf = 0, feature = 0, left = 0, right = 0;
+      double threshold = 0;
+      if (!cursor.NextInt(&is_leaf) || !cursor.NextInt(&feature) ||
+          !cursor.NextDouble(&threshold) || !cursor.NextInt(&left) ||
+          !cursor.NextInt(&right)) {
+        return InvalidArgumentError(
+            StrFormat("tree %lld node %lld: malformed",
+                      static_cast<long long>(t), static_cast<long long>(n)));
+      }
+      node.is_leaf = is_leaf != 0;
+      node.feature = static_cast<int>(feature);
+      node.threshold = threshold;
+      node.left = static_cast<int>(left);
+      node.right = static_cast<int>(right);
+      if (node.is_leaf) {
+        if (!cursor.NextDouble(&node.value)) {
+          return InvalidArgumentError("leaf: missing value");
+        }
+      } else {
+        int64_t default_left = 0;
+        if (!cursor.NextInt(&default_left)) {
+          return InvalidArgumentError("inner node: missing default_left");
+        }
+        node.default_left = default_left != 0;
+      }
+    }
+    forest.trees.push_back(std::move(tree));
+  }
+
+  Status valid = forest.Validate();
+  if (!valid.ok()) return valid;
+  return forest;
+}
+
+Status Forest::Validate() const {
+  if (num_features <= 0) return InvalidArgumentError("num_features <= 0");
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const Tree& tree = trees[t];
+    const int n = static_cast<int>(tree.nodes.size());
+    if (n == 0) {
+      return InvalidArgumentError(StrFormat("tree %zu: empty", t));
+    }
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    // Iterative DFS from the root; every node must be visited exactly once.
+    std::vector<int> stack = {0};
+    int visited = 0;
+    while (!stack.empty()) {
+      const int index = stack.back();
+      stack.pop_back();
+      if (index < 0 || index >= n) {
+        return InvalidArgumentError(
+            StrFormat("tree %zu: child index %d out of range", t, index));
+      }
+      if (seen[static_cast<size_t>(index)]) {
+        return InvalidArgumentError(
+            StrFormat("tree %zu: node %d reached twice", t, index));
+      }
+      seen[static_cast<size_t>(index)] = 1;
+      ++visited;
+      const TreeNode& node = tree.nodes[static_cast<size_t>(index)];
+      if (node.is_leaf) continue;
+      if (node.feature < 0 || node.feature >= num_features) {
+        return InvalidArgumentError(
+            StrFormat("tree %zu node %d: feature %d out of range", t, index,
+                      node.feature));
+      }
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+    if (visited != n) {
+      return InvalidArgumentError(
+          StrFormat("tree %zu: %d of %d nodes unreachable", t, n - visited, n));
+    }
+  }
+  return Status::OK();
+}
+
+Status Forest::SaveToFile(const std::string& path) const {
+  return WriteStringToFile(path, ToText());
+}
+
+Result<Forest> Forest::LoadFromFile(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return FromText(*content);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError(StrFormat("cannot open %s: %s", path.c_str(),
+                                   std::strerror(errno)));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return UnavailableError(StrFormat("read error on %s", path.c_str()));
+  }
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return UnavailableError(StrFormat("cannot create %s: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool failed = std::fclose(file) != 0 || written != content.size();
+  if (failed) {
+    return UnavailableError(StrFormat("write error on %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace t3

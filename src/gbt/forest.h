@@ -1,0 +1,95 @@
+#ifndef T3_GBT_FOREST_H_
+#define T3_GBT_FOREST_H_
+
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace t3 {
+
+/// One node of a regression tree, stored by index inside Tree::nodes.
+/// Node 0 is the root; `left`/`right` index into the same vector.
+struct TreeNode {
+  bool is_leaf = false;
+  int feature = -1;       ///< Split feature (inner nodes), -1 for leaves.
+  double threshold = 0.0; ///< Go left iff x[feature] < threshold.
+  int left = -1;
+  int right = -1;
+  double value = 0.0;     ///< Leaf prediction (includes shrinkage).
+  /// Where NaN feature values go. LightGBM's default_left; our trainer
+  /// always produces false (NaN routes right), but evaluators and the JIT
+  /// honor the flag either way.
+  bool default_left = false;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+};
+
+/// Split decision shared by every evaluator (interpreted, flattened, JIT):
+/// strictly-less comparison; equality and +/-inf follow from `<`; NaN routes
+/// by `default_left`. All evaluators must agree bit-exactly, so any change
+/// here must be mirrored in src/treejit.
+inline bool GoesLeft(const TreeNode& node, double x) {
+  if (std::isnan(x)) return node.default_left;
+  return x < node.threshold;
+}
+
+/// Walks one tree from the root; returns the reached leaf's value.
+double PredictTree(const Tree& tree, const double* row);
+
+/// A gradient-boosted forest of regression trees.
+/// Prediction = base_score + sum of per-tree leaf values, in tree order.
+struct Forest {
+  int num_features = 0;
+  double base_score = 0.0;
+  std::vector<Tree> trees;
+
+  /// Reference (node-pointer) prediction; the baseline every other
+  /// evaluator is tested against.
+  double Predict(const double* row) const;
+
+  size_t NumNodes() const;
+  size_t NumLeaves() const;
+
+  /// Text serialization ("t3gbt v1"). Numbers are printed with %.17g, so
+  /// save -> load round-trips are bit-exact.
+  ///
+  ///   t3gbt v1
+  ///   num_features 48
+  ///   base_score 7.7257788436153465
+  ///   num_trees 200
+  ///   tree 61
+  ///   <is_leaf> <feature> <threshold> <left> <right> <value|default_left>
+  ///   ...
+  ///
+  /// Inner nodes carry `default_left` in the last column; leaves carry the
+  /// leaf value (feature/left/right are -1).
+  std::string ToText() const;
+
+  /// Parses ToText output. Tolerates a leading "t3model target <n>" line so
+  /// the forest inside a T3 model file (data/model_*.txt) loads directly.
+  static Result<Forest> FromText(std::string_view text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Forest> LoadFromFile(const std::string& path);
+
+  /// Structural validation: node indices in range, exactly the fields of
+  /// leaves/inner nodes populated, every node reachable at most once (no
+  /// cycles, no sharing), features within num_features.
+  Status Validate() const;
+};
+
+/// Reads a whole file; NotFound/Unavailable on error. Shared by forest,
+/// model, and corpus loaders.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncates) a whole file.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace t3
+
+#endif  // T3_GBT_FOREST_H_

@@ -1,0 +1,483 @@
+#include "gbt/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+constexpr double kMapeEps = 1e-9;
+
+/// Per-feature histogram binning. Bin edges are strict upper bounds: row
+/// value x falls into the first bin whose edge is > x, i.e.
+/// bin(x) = #edges <= x. A split "left = bins 0..b" therefore corresponds
+/// exactly to the real-valued test x < edges[b], which is what TreeNode
+/// stores — binned training decisions and raw-row evaluation agree
+/// bit-exactly.
+struct FeatureBins {
+  std::vector<double> edges;  // ascending; bins = edges.size() + 1
+};
+
+FeatureBins BuildBins(const double* rows, size_t num_rows, size_t num_features,
+                      size_t feature, const std::vector<uint32_t>& row_indices,
+                      int max_bins) {
+  std::vector<double> values;
+  values.reserve(row_indices.size());
+  for (uint32_t r : row_indices) {
+    values.push_back(rows[r * num_features + feature]);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  FeatureBins bins;
+  if (values.size() <= 1) return bins;  // Constant feature: never splittable.
+  if (values.size() <= static_cast<size_t>(max_bins)) {
+    // One bin per distinct value; edges at midpoints so thresholds are
+    // robust round numbers between observed values.
+    bins.edges.reserve(values.size() - 1);
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      bins.edges.push_back(values[i] + (values[i + 1] - values[i]) / 2);
+    }
+  } else {
+    // Equi-depth cut points over the distinct values.
+    bins.edges.reserve(static_cast<size_t>(max_bins) - 1);
+    for (int b = 1; b < max_bins; ++b) {
+      const size_t index = values.size() * static_cast<size_t>(b) /
+                           static_cast<size_t>(max_bins);
+      const double edge = values[index];
+      if (bins.edges.empty() || edge > bins.edges.back()) {
+        bins.edges.push_back(edge);
+      }
+    }
+  }
+  return bins;
+}
+
+/// Per-bin gradient statistics of one leaf, flattened over all features.
+struct Histogram {
+  std::vector<double> grad;
+  std::vector<double> hess;
+  std::vector<int32_t> count;
+
+  explicit Histogram(size_t total_bins)
+      : grad(total_bins, 0.0), hess(total_bins, 0.0), count(total_bins, 0) {}
+
+  void SubtractFrom(const Histogram& parent) {
+    for (size_t i = 0; i < grad.size(); ++i) {
+      grad[i] = parent.grad[i] - grad[i];
+      hess[i] = parent.hess[i] - hess[i];
+      count[i] = parent.count[i] - count[i];
+    }
+  }
+};
+
+struct SplitChoice {
+  double gain = -1.0;
+  int feature = -1;
+  int bin = -1;  // left = bins 0..bin  <=>  x < edges[bin]
+};
+
+/// One growable leaf during leaf-wise tree construction.
+struct LeafCand {
+  int node_index = -1;  // Index into Tree::nodes.
+  std::vector<uint32_t> rows;
+  double sum_grad = 0.0;
+  double sum_hess = 0.0;
+  Histogram hist;
+  SplitChoice best;
+
+  LeafCand(int node, size_t total_bins) : node_index(node), hist(total_bins) {}
+};
+
+class Trainer {
+ public:
+  Trainer(const double* rows, size_t num_rows, size_t num_features,
+          const double* targets, const TrainParams& params)
+      : rows_(rows),
+        num_rows_(num_rows),
+        num_features_(num_features),
+        targets_(targets),
+        params_(params) {}
+
+  Result<Forest> Train(TrainStats* stats);
+
+ private:
+  void SplitTrainValidation();
+  void BuildBinnedMatrix();
+  void ComputeGradients();
+  Tree GrowTree();
+  void FillHistogram(LeafCand* leaf) const;
+  void FindBestSplit(LeafCand* leaf) const;
+  double LeafValue(double sum_grad, double sum_hess) const;
+  double Loss(const std::vector<uint32_t>& indices,
+              const std::vector<double>& preds) const;
+
+  const double* rows_;
+  size_t num_rows_;
+  size_t num_features_;
+  const double* targets_;
+  const TrainParams& params_;
+
+  std::vector<uint32_t> train_rows_;
+  std::vector<uint32_t> valid_rows_;
+
+  std::vector<FeatureBins> bins_;        // Per feature.
+  std::vector<size_t> bin_offsets_;      // Flattened histogram offsets.
+  size_t total_bins_ = 0;
+  std::vector<uint16_t> binned_;         // num_rows x num_features, row-major.
+
+  // Indexed by raw row id; only train/valid rows are maintained.
+  std::vector<double> preds_;
+  std::vector<double> grad_;
+  std::vector<double> hess_;
+};
+
+void Trainer::SplitTrainValidation() {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0u);
+  const bool use_valid =
+      params_.validation_fraction > 0.0 && params_.early_stopping_rounds > 0;
+  if (!use_valid) {
+    train_rows_ = std::move(order);
+    return;
+  }
+  Rng rng(params_.seed);
+  rng.Shuffle(&order);
+  size_t num_valid =
+      static_cast<size_t>(params_.validation_fraction *
+                          static_cast<double>(num_rows_));
+  // Keep at least one row on each side whenever there are >= 2 rows.
+  num_valid = std::min(num_valid, num_rows_ - 1);
+  if (num_valid == 0 && num_rows_ >= 10) num_valid = 1;
+  valid_rows_.assign(order.begin(), order.begin() + num_valid);
+  train_rows_.assign(order.begin() + num_valid, order.end());
+  // Deterministic histogram fill order (and better locality).
+  std::sort(train_rows_.begin(), train_rows_.end());
+  std::sort(valid_rows_.begin(), valid_rows_.end());
+}
+
+void Trainer::BuildBinnedMatrix() {
+  bins_.resize(num_features_);
+  bin_offsets_.resize(num_features_ + 1);
+  for (size_t f = 0; f < num_features_; ++f) {
+    bins_[f] = BuildBins(rows_, num_rows_, num_features_, f, train_rows_,
+                         params_.max_bins);
+    bin_offsets_[f] = total_bins_;
+    total_bins_ += bins_[f].edges.size() + 1;
+  }
+  bin_offsets_[num_features_] = total_bins_;
+
+  binned_.resize(num_rows_ * num_features_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      const double x = rows_[r * num_features_ + f];
+      const std::vector<double>& edges = bins_[f].edges;
+      // bin = number of edges <= x  (see FeatureBins contract).
+      const size_t bin = static_cast<size_t>(
+          std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+      binned_[r * num_features_ + f] = static_cast<uint16_t>(bin);
+    }
+  }
+}
+
+void Trainer::ComputeGradients() {
+  auto each = [&](const std::vector<uint32_t>& indices) {
+    for (uint32_t r : indices) {
+      const double diff = preds_[r] - targets_[r];
+      switch (params_.objective) {
+        case Objective::kL2:
+          grad_[r] = diff;
+          hess_[r] = 1.0;
+          break;
+        case Objective::kMape: {
+          const double w = 1.0 / std::max(std::fabs(targets_[r]), kMapeEps);
+          grad_[r] = (diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0)) * w;
+          hess_[r] = w;
+          break;
+        }
+      }
+    }
+  };
+  each(train_rows_);
+}
+
+double Trainer::LeafValue(double sum_grad, double sum_hess) const {
+  return -sum_grad / (sum_hess + params_.l2_reg) * params_.learning_rate;
+}
+
+void Trainer::FillHistogram(LeafCand* leaf) const {
+  for (uint32_t r : leaf->rows) {
+    const uint16_t* row_bins = &binned_[r * num_features_];
+    const double g = grad_[r];
+    const double h = hess_[r];
+    for (size_t f = 0; f < num_features_; ++f) {
+      const size_t slot = bin_offsets_[f] + row_bins[f];
+      leaf->hist.grad[slot] += g;
+      leaf->hist.hess[slot] += h;
+      leaf->hist.count[slot] += 1;
+    }
+    leaf->sum_grad += g;
+    leaf->sum_hess += h;
+  }
+}
+
+void Trainer::FindBestSplit(LeafCand* leaf) const {
+  leaf->best = SplitChoice{};
+  const double lambda = params_.l2_reg;
+  const double total_score =
+      leaf->sum_grad * leaf->sum_grad / (leaf->sum_hess + lambda);
+  const int total_count = static_cast<int>(leaf->rows.size());
+  for (size_t f = 0; f < num_features_; ++f) {
+    const size_t num_edges = bins_[f].edges.size();
+    if (num_edges == 0) continue;
+    const size_t base = bin_offsets_[f];
+    double left_grad = 0.0, left_hess = 0.0;
+    int left_count = 0;
+    // Candidate split after bin b: left = bins 0..b (x < edges[b]).
+    for (size_t b = 0; b < num_edges; ++b) {
+      left_grad += leaf->hist.grad[base + b];
+      left_hess += leaf->hist.hess[base + b];
+      left_count += leaf->hist.count[base + b];
+      const int right_count = total_count - left_count;
+      if (left_count < params_.min_data_in_leaf) continue;
+      if (right_count < params_.min_data_in_leaf) break;
+      const double right_grad = leaf->sum_grad - left_grad;
+      const double right_hess = leaf->sum_hess - left_hess;
+      const double gain = left_grad * left_grad / (left_hess + lambda) +
+                          right_grad * right_grad / (right_hess + lambda) -
+                          total_score;
+      if (gain > leaf->best.gain) {
+        leaf->best.gain = gain;
+        leaf->best.feature = static_cast<int>(f);
+        leaf->best.bin = static_cast<int>(b);
+      }
+    }
+  }
+}
+
+Tree Trainer::GrowTree() {
+  Tree tree;
+  tree.nodes.push_back(TreeNode{});  // Root, leaf for now.
+
+  std::vector<LeafCand> leaves;
+  leaves.emplace_back(0, total_bins_);
+  leaves.back().rows = train_rows_;
+  FillHistogram(&leaves.back());
+  FindBestSplit(&leaves.back());
+
+  int num_leaves = 1;
+  while (num_leaves < params_.max_leaves) {
+    // Leaf-wise (best-first) growth: split the leaf with the highest gain.
+    int best_index = -1;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (leaves[i].best.gain > params_.min_split_gain &&
+          (best_index < 0 ||
+           leaves[i].best.gain > leaves[static_cast<size_t>(best_index)]
+                                     .best.gain)) {
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index < 0) break;
+
+    LeafCand parent = std::move(leaves[static_cast<size_t>(best_index)]);
+    leaves.erase(leaves.begin() + best_index);
+
+    const size_t f = static_cast<size_t>(parent.best.feature);
+    const uint16_t split_bin = static_cast<uint16_t>(parent.best.bin);
+    const double threshold =
+        bins_[f].edges[static_cast<size_t>(parent.best.bin)];
+
+    const int left_node = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(TreeNode{});
+    const int right_node = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(TreeNode{});
+    TreeNode& inner = tree.nodes[static_cast<size_t>(parent.node_index)];
+    inner.is_leaf = false;
+    inner.feature = parent.best.feature;
+    inner.threshold = threshold;
+    inner.left = left_node;
+    inner.right = right_node;
+    inner.default_left = false;
+
+    LeafCand left(left_node, total_bins_);
+    LeafCand right(right_node, total_bins_);
+    for (uint32_t r : parent.rows) {
+      if (binned_[r * num_features_ + f] <= split_bin) {
+        left.rows.push_back(r);
+      } else {
+        right.rows.push_back(r);
+      }
+    }
+    // Histogram-subtraction trick: scan only the smaller child, derive the
+    // larger one from the parent.
+    LeafCand* scan = left.rows.size() <= right.rows.size() ? &left : &right;
+    LeafCand* derive = scan == &left ? &right : &left;
+    FillHistogram(scan);
+    derive->hist = std::move(parent.hist);
+    {
+      // derive = parent - scan, in place on the parent's buffers.
+      Histogram& h = derive->hist;
+      for (size_t i = 0; i < h.grad.size(); ++i) {
+        h.grad[i] -= scan->hist.grad[i];
+        h.hess[i] -= scan->hist.hess[i];
+        h.count[i] -= scan->hist.count[i];
+      }
+      derive->sum_grad = parent.sum_grad - scan->sum_grad;
+      derive->sum_hess = parent.sum_hess - scan->sum_hess;
+    }
+    FindBestSplit(&left);
+    FindBestSplit(&right);
+    leaves.push_back(std::move(left));
+    leaves.push_back(std::move(right));
+    ++num_leaves;
+  }
+
+  // Finalize leaf values and update train predictions in place.
+  for (LeafCand& leaf : leaves) {
+    const double value = LeafValue(leaf.sum_grad, leaf.sum_hess);
+    tree.nodes[static_cast<size_t>(leaf.node_index)].is_leaf = true;
+    tree.nodes[static_cast<size_t>(leaf.node_index)].value = value;
+    for (uint32_t r : leaf.rows) preds_[r] += value;
+  }
+  return tree;
+}
+
+double Trainer::Loss(const std::vector<uint32_t>& indices,
+                     const std::vector<double>& preds) const {
+  double sum = 0.0;
+  for (uint32_t r : indices) {
+    const double diff = preds[r] - targets_[r];
+    switch (params_.objective) {
+      case Objective::kL2:
+        sum += diff * diff;
+        break;
+      case Objective::kMape:
+        sum += std::fabs(diff) / std::max(std::fabs(targets_[r]), kMapeEps);
+        break;
+    }
+  }
+  return sum / static_cast<double>(indices.size());
+}
+
+Result<Forest> Trainer::Train(TrainStats* stats) {
+  if (num_rows_ == 0 || num_features_ == 0) {
+    return InvalidArgumentError("empty training set");
+  }
+  for (size_t i = 0; i < num_rows_ * num_features_; ++i) {
+    if (!std::isfinite(rows_[i])) {
+      return InvalidArgumentError("training rows must be finite");
+    }
+  }
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (!std::isfinite(targets_[i])) {
+      return InvalidArgumentError("training targets must be finite");
+    }
+  }
+  if (params_.num_trees < 0 || params_.max_leaves < 2 ||
+      params_.max_bins < 2 || params_.max_bins > 65535 ||
+      params_.learning_rate <= 0 || params_.validation_fraction < 0 ||
+      params_.validation_fraction >= 1) {
+    return InvalidArgumentError("bad training parameters");
+  }
+
+  SplitTrainValidation();
+  BuildBinnedMatrix();
+
+  Forest forest;
+  forest.num_features = static_cast<int>(num_features_);
+  {
+    // Base score: mean target for L2; median for MAPE (the weighted-L1
+    // minimizer is close to the median for our positive log-time targets).
+    std::vector<double> train_targets;
+    train_targets.reserve(train_rows_.size());
+    for (uint32_t r : train_rows_) train_targets.push_back(targets_[r]);
+    std::sort(train_targets.begin(), train_targets.end());
+    if (params_.objective == Objective::kMape) {
+      forest.base_score = train_targets[train_targets.size() / 2];
+    } else {
+      double sum = 0;
+      for (double v : train_targets) sum += v;
+      forest.base_score = sum / static_cast<double>(train_targets.size());
+    }
+  }
+
+  preds_.assign(num_rows_, forest.base_score);
+  grad_.assign(num_rows_, 0.0);
+  hess_.assign(num_rows_, 0.0);
+
+  const bool use_valid = !valid_rows_.empty();
+  double best_valid_loss = std::numeric_limits<double>::infinity();
+  size_t best_num_trees = 0;
+  int rounds_since_best = 0;
+  TrainStats local_stats;
+  TrainStats& out = stats != nullptr ? *stats : local_stats;
+  out = TrainStats{};
+
+  for (int iter = 0; iter < params_.num_trees; ++iter) {
+    ComputeGradients();
+    Tree tree = GrowTree();
+    if (use_valid) {
+      for (uint32_t r : valid_rows_) {
+        preds_[r] += PredictTree(tree, rows_ + r * num_features_);
+      }
+    }
+    forest.trees.push_back(std::move(tree));
+
+    if (use_valid) {
+      const double valid_loss = Loss(valid_rows_, preds_);
+      out.valid_loss_history.push_back(valid_loss);
+      if (valid_loss < best_valid_loss) {
+        best_valid_loss = valid_loss;
+        best_num_trees = forest.trees.size();
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= params_.early_stopping_rounds) {
+        forest.trees.resize(best_num_trees);
+        out.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  out.num_trees = static_cast<int>(forest.trees.size());
+  out.best_valid_loss = use_valid ? best_valid_loss : 0.0;
+  // preds_ includes trees past the truncation point; recompute the final
+  // train loss from the kept forest.
+  {
+    std::vector<double> final_preds(num_rows_, 0.0);
+    for (uint32_t r : train_rows_) {
+      final_preds[r] = forest.Predict(rows_ + r * num_features_);
+    }
+    out.final_train_loss = Loss(train_rows_, final_preds);
+  }
+  return forest;
+}
+
+}  // namespace
+
+Result<Forest> TrainForest(const double* rows, size_t num_rows,
+                           size_t num_features, const double* targets,
+                           const TrainParams& params, TrainStats* stats) {
+  Trainer trainer(rows, num_rows, num_features, targets, params);
+  return trainer.Train(stats);
+}
+
+Result<Forest> TrainForest(const std::vector<double>& rows,
+                           const std::vector<double>& targets,
+                           size_t num_features, const TrainParams& params,
+                           TrainStats* stats) {
+  if (num_features == 0 || rows.size() != targets.size() * num_features) {
+    return InvalidArgumentError(
+        StrFormat("rows size %zu != targets %zu x features %zu", rows.size(),
+                  targets.size(), num_features));
+  }
+  return TrainForest(rows.data(), targets.size(), num_features, targets.data(),
+                     params, stats);
+}
+
+}  // namespace t3

@@ -1,0 +1,64 @@
+#ifndef T3_GBT_TRAINER_H_
+#define T3_GBT_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gbt/forest.h"
+
+namespace t3 {
+
+/// Training objective of the GBDT trainer.
+/// - kL2:   squared error; gradient = pred - y, hessian = 1.
+/// - kMape: mean absolute percentage error, the paper's LightGBM objective
+///          (T3 trains on log-transformed per-tuple times with MAPE);
+///          gradient = sign(pred - y) / |y|, hessian = 1 / |y|.
+enum class Objective { kL2, kMape };
+
+struct TrainParams {
+  int num_trees = 200;        ///< Paper: 200 trees.
+  int max_leaves = 31;        ///< Paper: ~30 leaves per tree.
+  double learning_rate = 0.1; ///< Shrinkage, folded into leaf values.
+  int max_bins = 255;         ///< Histogram bins per feature.
+  int min_data_in_leaf = 20;
+  double l2_reg = 1.0;        ///< Lambda in the leaf-value / gain formulas.
+  double min_split_gain = 1e-12;
+  Objective objective = Objective::kL2;
+  /// Fraction of rows held out for validation-based early stopping. 0
+  /// disables the split (and early stopping with it).
+  double validation_fraction = 0.1;
+  /// Stop when the validation loss has not improved for this many trees;
+  /// the forest is truncated to the best iteration. 0 disables.
+  int early_stopping_rounds = 20;
+  uint64_t seed = 42;         ///< Drives the train/validation shuffle.
+};
+
+struct TrainStats {
+  int num_trees = 0;          ///< Trees kept in the returned forest.
+  bool early_stopped = false;
+  double final_train_loss = 0.0;
+  double best_valid_loss = 0.0;        ///< Meaningless without validation.
+  std::vector<double> valid_loss_history;  ///< One entry per trained tree.
+};
+
+/// Trains a histogram-binned, leaf-wise (best-first) gradient-boosted forest
+/// on `num_rows` x `num_features` row-major `rows` against `targets`.
+///
+/// All inputs must be finite (NaN/inf rows are rejected as
+/// InvalidArgument); NaN routing in the produced trees defaults right.
+/// Deterministic for fixed inputs and params.
+Result<Forest> TrainForest(const double* rows, size_t num_rows,
+                           size_t num_features, const double* targets,
+                           const TrainParams& params,
+                           TrainStats* stats = nullptr);
+
+/// Convenience overload over vectors; `rows.size()` must equal
+/// `targets.size() * num_features`.
+Result<Forest> TrainForest(const std::vector<double>& rows,
+                           const std::vector<double>& targets,
+                           size_t num_features, const TrainParams& params,
+                           TrainStats* stats = nullptr);
+
+}  // namespace t3
+
+#endif  // T3_GBT_TRAINER_H_

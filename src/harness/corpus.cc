@@ -1,0 +1,267 @@
+#include "harness/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "gbt/forest.h"  // ReadFileToString / WriteStringToFile
+
+namespace t3 {
+namespace {
+
+/// Pointer-walking token reader; the corpus fixture is ~200k lines, so this
+/// avoids per-line istringstream overhead. The backing string outlives the
+/// cursor and is NUL-terminated, which strtod/strtoll rely on.
+struct Cursor {
+  const char* pos;
+  const char* end;
+
+  explicit Cursor(std::string_view text)
+      : pos(text.data()), end(text.data() + text.size()) {}
+
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  void SkipSpace() {
+    while (pos != end && IsSpace(*pos)) ++pos;
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos == end;
+  }
+  std::string_view Token() {
+    SkipSpace();
+    const char* start = pos;
+    while (pos != end && !IsSpace(*pos) && *pos != ':') ++pos;
+    return std::string_view(start, static_cast<size_t>(pos - start));
+  }
+  bool Double(double* out) {
+    SkipSpace();
+    char* after = nullptr;
+    *out = std::strtod(pos, &after);
+    if (after == pos) return false;
+    pos = after;
+    return true;
+  }
+  bool Int(int64_t* out) {
+    SkipSpace();
+    char* after = nullptr;
+    *out = std::strtoll(pos, &after, 10);
+    if (after == pos) return false;
+    pos = after;
+    return true;
+  }
+  bool Literal(char c) {
+    if (pos != end && *pos == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+Status ParsePipelineFeatures(Cursor* cursor, PipelineFeatures* features) {
+  int64_t pipeline = 0, dim = 0, nnz = 0;
+  double card = 0;
+  if (!cursor->Int(&pipeline) || !cursor->Double(&card) ||
+      !cursor->Int(&dim) || !cursor->Int(&nnz) || dim <= 0 || nnz < 0 ||
+      nnz > dim) {
+    return InvalidArgumentError("corpus: malformed feature line header");
+  }
+  features->pipeline = static_cast<int>(pipeline);
+  features->input_cardinality = card;
+  features->values.assign(static_cast<size_t>(dim), 0.0);
+  for (int64_t i = 0; i < nnz; ++i) {
+    int64_t index = 0;
+    double value = 0;
+    if (!cursor->Int(&index) || !cursor->Literal(':') ||
+        !cursor->Double(&value) || index < 0 || index >= dim) {
+      return InvalidArgumentError("corpus: malformed sparse feature pair");
+    }
+    features->values[static_cast<size_t>(index)] = value;
+  }
+  return Status::OK();
+}
+
+void AppendPipelineFeatures(std::string* out, const char* tag,
+                            const PipelineFeatures& features) {
+  size_t nnz = 0;
+  for (double v : features.values) nnz += v != 0.0 ? 1 : 0;
+  out->append(StrFormat("%s %d ", tag, features.pipeline));
+  AppendDouble(out, features.input_cardinality);
+  out->append(StrFormat(" %zu %zu", features.values.size(), nnz));
+  for (size_t i = 0; i < features.values.size(); ++i) {
+    if (features.values[i] == 0.0) continue;
+    out->append(StrFormat(" %zu:", i));
+    AppendDouble(out, features.values[i]);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+size_t Corpus::NumPipelines() const {
+  size_t n = 0;
+  for (const QueryRecord& record : records) n += record.feat_true.size();
+  return n;
+}
+
+Result<Corpus> ParseCorpus(std::string_view text) {
+  Cursor cursor(text);
+  if (cursor.Token() != "t3corpus" || cursor.Token() != "v1") {
+    return InvalidArgumentError("not a t3corpus v1 file");
+  }
+  int64_t num_records = 0;
+  if (cursor.Token() != "records" || !cursor.Int(&num_records) ||
+      num_records < 0) {
+    return InvalidArgumentError("corpus: bad record count");
+  }
+
+  Corpus corpus;
+  corpus.records.reserve(static_cast<size_t>(num_records));
+  for (int64_t rec = 0; rec < num_records; ++rec) {
+    if (cursor.Token() != "R") {
+      return InvalidArgumentError(
+          StrFormat("corpus record %lld: expected R line",
+                    static_cast<long long>(rec)));
+    }
+    QueryRecord record;
+    record.instance = std::string(cursor.Token());
+    int64_t is_test = 0, scale = 0, group = 0, fixed = 0;
+    int64_t num_pipelines = 0, runs = 0, num_nodes = 0;
+    if (record.instance.empty() || !cursor.Int(&is_test) ||
+        !cursor.Int(&scale) || !cursor.Int(&group) || !cursor.Int(&fixed) ||
+        !cursor.Int(&num_pipelines) || !cursor.Int(&runs) ||
+        !cursor.Int(&num_nodes) || !cursor.Double(&record.median_seconds) ||
+        num_pipelines < 0 || runs < 0 || num_nodes < 0) {
+      return InvalidArgumentError(
+          StrFormat("corpus record %lld: malformed R line",
+                    static_cast<long long>(rec)));
+    }
+    record.is_test = is_test != 0;
+    record.scale_index = static_cast<int>(scale);
+    record.structure_group = static_cast<int>(group);
+    record.fixed_suite = fixed != 0;
+    record.runs = static_cast<int>(runs);
+
+    record.plan_nodes.resize(static_cast<size_t>(num_nodes));
+    for (PlanNodeRecord& node : record.plan_nodes) {
+      int64_t op = 0, left = 0, right = 0, stage = 0;
+      if (cursor.Token() != "N" || !cursor.Int(&op) || !cursor.Int(&left) ||
+          !cursor.Int(&right) || !cursor.Double(&node.cardinality) ||
+          !cursor.Double(&node.extra) || !cursor.Double(&node.width) ||
+          !cursor.Int(&stage)) {
+        return InvalidArgumentError("corpus: malformed N line");
+      }
+      node.op = static_cast<int>(op);
+      node.left = static_cast<int>(left);
+      node.right = static_cast<int>(right);
+      node.stage = static_cast<int>(stage);
+    }
+
+    if (cursor.Token() != "T") {
+      return InvalidArgumentError("corpus: expected T line");
+    }
+    record.total_run_seconds.resize(static_cast<size_t>(runs));
+    for (double& v : record.total_run_seconds) {
+      if (!cursor.Double(&v)) {
+        return InvalidArgumentError("corpus: malformed T line");
+      }
+    }
+
+    // Pipelines are stored as interleaved P / FT / FE blocks.
+    record.pipeline_times.resize(static_cast<size_t>(num_pipelines));
+    record.feat_true.resize(static_cast<size_t>(num_pipelines));
+    record.feat_est.resize(static_cast<size_t>(num_pipelines));
+    for (size_t p = 0; p < static_cast<size_t>(num_pipelines); ++p) {
+      PipelineTiming& timing = record.pipeline_times[p];
+      int64_t pipeline = 0;
+      if (cursor.Token() != "P" || !cursor.Int(&pipeline) ||
+          !cursor.Double(&timing.median_seconds)) {
+        return InvalidArgumentError("corpus: malformed P line");
+      }
+      timing.pipeline = static_cast<int>(pipeline);
+      timing.run_seconds.resize(static_cast<size_t>(runs));
+      for (double& v : timing.run_seconds) {
+        if (!cursor.Double(&v)) {
+          return InvalidArgumentError("corpus: malformed P run value");
+        }
+      }
+      if (cursor.Token() != "FT") {
+        return InvalidArgumentError("corpus: expected FT line");
+      }
+      Status status = ParsePipelineFeatures(&cursor, &record.feat_true[p]);
+      if (!status.ok()) return status;
+      if (cursor.Token() != "FE") {
+        return InvalidArgumentError("corpus: expected FE line");
+      }
+      status = ParsePipelineFeatures(&cursor, &record.feat_est[p]);
+      if (!status.ok()) return status;
+    }
+    corpus.records.push_back(std::move(record));
+  }
+  return corpus;
+}
+
+std::string CorpusToText(const Corpus& corpus) {
+  std::string out;
+  out.reserve(corpus.records.size() * 512);
+  out += "t3corpus v1\n";
+  out += StrFormat("records %zu\n", corpus.records.size());
+  for (const QueryRecord& record : corpus.records) {
+    out += StrFormat("R %s %d %d %d %d %zu %d %zu ", record.instance.c_str(),
+                     record.is_test ? 1 : 0, record.scale_index,
+                     record.structure_group, record.fixed_suite ? 1 : 0,
+                     record.feat_true.size(), record.runs,
+                     record.plan_nodes.size());
+    AppendDouble(&out, record.median_seconds);
+    out.push_back('\n');
+    for (const PlanNodeRecord& node : record.plan_nodes) {
+      out += StrFormat("N %d %d %d ", node.op, node.left, node.right);
+      AppendDouble(&out, node.cardinality);
+      out.push_back(' ');
+      AppendDouble(&out, node.extra);
+      out.push_back(' ');
+      AppendDouble(&out, node.width);
+      out += StrFormat(" %d\n", node.stage);
+    }
+    out += "T";
+    for (double v : record.total_run_seconds) {
+      out.push_back(' ');
+      AppendDouble(&out, v);
+    }
+    out.push_back('\n');
+    for (size_t p = 0; p < record.pipeline_times.size(); ++p) {
+      const PipelineTiming& timing = record.pipeline_times[p];
+      out += StrFormat("P %d ", timing.pipeline);
+      AppendDouble(&out, timing.median_seconds);
+      for (double v : timing.run_seconds) {
+        out.push_back(' ');
+        AppendDouble(&out, v);
+      }
+      out.push_back('\n');
+      AppendPipelineFeatures(&out, "FT", record.feat_true[p]);
+      AppendPipelineFeatures(&out, "FE", record.feat_est[p]);
+    }
+  }
+  return out;
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseCorpus(*content);
+}
+
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {
+  return WriteStringToFile(path, CorpusToText(corpus));
+}
+
+}  // namespace t3

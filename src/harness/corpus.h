@@ -1,0 +1,90 @@
+#ifndef T3_HARNESS_CORPUS_H_
+#define T3_HARNESS_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace t3 {
+
+// Defined in src/storage and src/querygen (pending reconstruction; see
+// README "Reconstruction status"). bench_util.h's JobWorkload only needs
+// the declarations.
+class Database;
+struct GeneratedQuery;
+
+/// Feature vector of one pipeline of one executed query ("FT"/"FE" corpus
+/// lines — features under true resp. estimated cardinalities).
+struct PipelineFeatures {
+  int pipeline = 0;                ///< Pipeline index within the query.
+  double input_cardinality = 0.0;  ///< Tuples entering the pipeline.
+  std::vector<double> values;      ///< Dense feature vector.
+};
+
+/// Measured times of one pipeline ("P" lines): per-run seconds + median.
+struct PipelineTiming {
+  int pipeline = 0;
+  double median_seconds = 0.0;
+  std::vector<double> run_seconds;
+};
+
+/// One physical plan node ("N" lines). Field semantics beyond the operator
+/// linkage are provisional until src/plan is reconstructed; values are
+/// preserved verbatim so save -> load round-trips.
+struct PlanNodeRecord {
+  int op = 0;
+  int left = -1;
+  int right = -1;
+  double cardinality = 0.0;
+  double extra = 0.0;
+  double width = 0.0;
+  int stage = 0;
+};
+
+/// One benchmarked query of the corpus ("R" line + its attached lines).
+struct QueryRecord {
+  std::string instance;      ///< Database instance name, e.g. "tpch_sf0".
+  bool is_test = false;      ///< Held-out TPC-DS-like instances.
+  int scale_index = 0;       ///< Scale factor index within the family.
+  int structure_group = 0;   ///< Query-structure group (0..15).
+  bool fixed_suite = false;  ///< Member of a fixed benchmark suite.
+  int runs = 0;              ///< Benchmark repetitions recorded.
+  double median_seconds = 0.0;  ///< Median total query time.
+
+  std::vector<PlanNodeRecord> plan_nodes;
+  std::vector<double> total_run_seconds;      ///< "T" line, `runs` values.
+  std::vector<PipelineTiming> pipeline_times; ///< One per pipeline.
+  std::vector<PipelineFeatures> feat_true;    ///< Features, true cards.
+  std::vector<PipelineFeatures> feat_est;     ///< Features, estimated cards.
+};
+
+/// A benchmarked query corpus (data/corpus_*.txt): the shared training and
+/// evaluation substrate of every experiment. Text format, one record per
+/// "R" line:
+///
+///   t3corpus v1
+///   records <n>
+///   R <instance> <is_test> <scale> <group> <fixed> <pipelines> <runs>
+///     <plan_nodes> <median_seconds>
+///   N <op> <left> <right> <cardinality> <extra> <width> <stage>   (x nodes)
+///   T <run_seconds...>                                  (`runs` values)
+///   P <pipeline> <median> <run_seconds...>              \
+///   FT <pipeline> <input_card> <dim> <nnz> <i>:<v>...    > x pipelines
+///   FE <pipeline> <input_card> <dim> <nnz> <i>:<v>...   /
+struct Corpus {
+  std::vector<QueryRecord> records;
+
+  size_t NumPipelines() const;
+};
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path);
+Result<Corpus> ParseCorpus(std::string_view text);
+
+std::string CorpusToText(const Corpus& corpus);
+Status SaveCorpusToFile(const Corpus& corpus, const std::string& path);
+
+}  // namespace t3
+
+#endif  // T3_HARNESS_CORPUS_H_

@@ -1,0 +1,62 @@
+#include "harness/evaluate.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace t3 {
+
+double QError(double predicted_seconds, double actual_seconds) {
+  const double p = std::max(predicted_seconds, kMinSeconds);
+  const double a = std::max(actual_seconds, kMinSeconds);
+  return std::max(p / a, a / p);
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors) {
+  QErrorSummary summary;
+  if (q_errors.empty()) return summary;
+  summary.p50 = Quantile(q_errors, 0.5);
+  summary.p90 = Quantile(q_errors, 0.9);
+  summary.avg = Mean(q_errors);
+  return summary;
+}
+
+std::vector<const QueryRecord*> SelectRecords(
+    const Corpus& corpus,
+    const std::function<bool(const QueryRecord&)>& predicate) {
+  std::vector<const QueryRecord*> selected;
+  for (const QueryRecord& record : corpus.records) {
+    if (predicate(record)) selected.push_back(&record);
+  }
+  return selected;
+}
+
+double PredictQuerySeconds(const T3Model& model, const QueryRecord& record) {
+  if (model.target() == PredictionTarget::kPerQuery) {
+    if (record.feat_true.empty()) return 0.0;
+    // Per-query models are trained on a single per-query vector; until the
+    // feature module reconstructs that exact vector we use the first
+    // pipeline's features, which carry the query-level counts.
+    return model.PredictPipelineSeconds(record.feat_true[0].values.data(),
+                                        record.feat_true[0].input_cardinality);
+  }
+  double total = 0.0;
+  for (const PipelineFeatures& features : record.feat_true) {
+    total += model.PredictPipelineSeconds(features.values.data(),
+                                          features.input_cardinality);
+  }
+  return total;
+}
+
+std::vector<double> QErrors(const T3Model& model,
+                            const std::vector<const QueryRecord*>& records) {
+  std::vector<double> q_errors;
+  q_errors.reserve(records.size());
+  for (const QueryRecord* record : records) {
+    q_errors.push_back(
+        QError(PredictQuerySeconds(model, *record), record->median_seconds));
+  }
+  return q_errors;
+}
+
+}  // namespace t3

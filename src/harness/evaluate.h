@@ -1,0 +1,43 @@
+#ifndef T3_HARNESS_EVALUATE_H_
+#define T3_HARNESS_EVALUATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "harness/corpus.h"
+#include "model/t3_model.h"
+
+namespace t3 {
+
+/// The paper's accuracy metric: q-error = max(pred/actual, actual/pred),
+/// with both sides floored at kMinSeconds so the ratio is finite.
+double QError(double predicted_seconds, double actual_seconds);
+
+/// p50 / p90 / mean of a set of q-errors, the triple reported by every
+/// accuracy table in the paper.
+struct QErrorSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double avg = 0.0;
+};
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors);
+
+/// Records matching a predicate, e.g. bench filters IsTest / IsTrain.
+std::vector<const QueryRecord*> SelectRecords(
+    const Corpus& corpus,
+    const std::function<bool(const QueryRecord&)>& predicate);
+
+/// Predicted total seconds of one corpus query under `model`: per-pipeline
+/// predictions (on features with true cardinalities) summed over pipelines
+/// for per-tuple/per-pipeline targets; single per-query prediction
+/// otherwise.
+double PredictQuerySeconds(const T3Model& model, const QueryRecord& record);
+
+/// Q-errors of `model` over `records` against measured medians.
+std::vector<double> QErrors(const T3Model& model,
+                            const std::vector<const QueryRecord*>& records);
+
+}  // namespace t3
+
+#endif  // T3_HARNESS_EVALUATE_H_

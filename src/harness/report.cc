@@ -1,0 +1,63 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace t3 {
+
+void PrintExperimentHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  T3_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim the padding after the last column.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += "\n";
+  };
+  append_row(headers_);
+  {
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule.push_back(std::string(widths[c], '-'));
+    }
+    append_row(rule);
+  }
+  for (const std::vector<std::string>& row : rows_) append_row(row);
+  return out;
+}
+
+void ReportTable::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace t3

@@ -1,0 +1,34 @@
+#ifndef T3_HARNESS_REPORT_H_
+#define T3_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace t3 {
+
+/// Prints the experiment banner every bench binary starts with: the paper
+/// table/figure being reproduced plus the expectation being tested.
+void PrintExperimentHeader(const std::string& title, const std::string& note);
+
+/// Column-aligned plain-text table, the output format of all experiment
+/// binaries.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table to stdout.
+  void Print() const;
+
+  /// The rendered table (for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace t3
+
+#endif  // T3_HARNESS_REPORT_H_

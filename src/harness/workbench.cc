@@ -1,0 +1,109 @@
+#include "harness/workbench.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "gbt/trainer.h"
+
+namespace t3 {
+namespace {
+
+constexpr char kCorpusFile[] = "corpus_q40_r10.txt";
+constexpr char kMainModelCache[] = "cache_model_main.txt";
+
+}  // namespace
+
+Workbench::Workbench(std::string data_dir) : data_dir_(std::move(data_dir)) {}
+
+Workbench::~Workbench() = default;
+
+const Corpus& Workbench::corpus() {
+  if (corpus_ == nullptr) {
+    const std::string path = data_dir_ + "/" + kCorpusFile;
+    Result<Corpus> loaded = LoadCorpusFromFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr,
+                   "Workbench: cannot load corpus %s (%s). Run bench "
+                   "binaries from the repository root.\n",
+                   path.c_str(), loaded.status().ToString().c_str());
+      T3_CHECK(loaded.ok());
+    }
+    corpus_ = std::make_unique<Corpus>(*std::move(loaded));
+  }
+  return *corpus_;
+}
+
+const T3Model& Workbench::MainModel() {
+  if (main_model_ != nullptr) return *main_model_;
+
+  const std::string cache_path = data_dir_ + "/" + kMainModelCache;
+  Result<T3Model> cached = T3Model::LoadFromFile(cache_path);
+  if (cached.ok()) {
+    main_model_ = std::make_unique<T3Model>(*std::move(cached));
+    return *main_model_;
+  }
+
+  // Train the per-tuple model on the train split: one row per pipeline
+  // (true-cardinality features), target = negated log per-tuple time.
+  const Corpus& data = corpus();
+  size_t num_features = 0;
+  for (const QueryRecord& record : data.records) {
+    if (!record.feat_true.empty()) {
+      num_features = record.feat_true[0].values.size();
+      break;
+    }
+  }
+  T3_CHECK(num_features > 0);
+
+  std::vector<double> rows;
+  std::vector<double> targets;
+  for (const QueryRecord& record : data.records) {
+    if (record.is_test) continue;
+    for (size_t p = 0; p < record.feat_true.size(); ++p) {
+      const PipelineFeatures& features = record.feat_true[p];
+      if (features.values.size() != num_features) continue;
+      const double pipeline_seconds =
+          p < record.pipeline_times.size()
+              ? record.pipeline_times[p].median_seconds
+              : record.median_seconds;
+      const double tuples = std::max(features.input_cardinality, 1.0);
+      rows.insert(rows.end(), features.values.begin(), features.values.end());
+      targets.push_back(TransformTarget(pipeline_seconds / tuples));
+    }
+  }
+  T3_CHECK(!targets.empty());
+
+  TrainParams params;
+  params.num_trees = 200;
+  params.max_leaves = 31;
+  params.objective = Objective::kMape;
+  params.validation_fraction = 0.1;
+  params.early_stopping_rounds = 20;
+
+  std::fprintf(stderr,
+               "Workbench: training main model on %zu pipelines x %zu "
+               "features...\n",
+               targets.size(), num_features);
+  Stopwatch timer;
+  TrainStats stats;
+  Result<Forest> forest =
+      TrainForest(rows, targets, num_features, params, &stats);
+  T3_CHECK_OK(forest);
+  std::fprintf(stderr, "Workbench: trained %d trees in %.1fs (valid MAPE %.3f)\n",
+               stats.num_trees, timer.ElapsedSeconds(), stats.best_valid_loss);
+
+  main_model_ = std::make_unique<T3Model>(*std::move(forest),
+                                          PredictionTarget::kPerTuple);
+  const Status saved = main_model_->SaveToFile(cache_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "Workbench: cannot cache model: %s\n",
+                 saved.ToString().c_str());
+  }
+  return *main_model_;
+}
+
+}  // namespace t3

@@ -1,0 +1,46 @@
+#ifndef T3_HARNESS_WORKBENCH_H_
+#define T3_HARNESS_WORKBENCH_H_
+
+#include <memory>
+#include <string>
+
+#include "harness/corpus.h"
+#include "model/t3_model.h"
+
+namespace t3 {
+
+/// Shared cache of expensive experiment artifacts (DESIGN.md "Shared
+/// experiment state"). Every bench binary works from the same `data_dir`:
+/// the corpus is loaded from `corpus_q40_r10.txt`, and trained models are
+/// cached as `cache_model_*.txt` (gitignored) so only the first binary pays
+/// the training cost.
+///
+/// Corpus *generation* (datagen + querygen + engine) is pending
+/// reconstruction; until then the checked-in corpus fixture is required.
+/// Accessors T3_CHECK on missing artifacts — bench binaries have no
+/// recovery path; library code should use the Status-returning loaders in
+/// harness/corpus.h instead.
+class Workbench {
+ public:
+  explicit Workbench(std::string data_dir);
+  ~Workbench();
+
+  const std::string& data_dir() const { return data_dir_; }
+
+  /// The benchmarked query corpus; loaded lazily, then cached.
+  const Corpus& corpus();
+
+  /// The main T3 model: per-tuple target, MAPE objective, 200 trees of
+  /// <= 31 leaves on the corpus train split (true-cardinality features).
+  /// Trained on first use and cached under data_dir.
+  const T3Model& MainModel();
+
+ private:
+  std::string data_dir_;
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<T3Model> main_model_;
+};
+
+}  // namespace t3
+
+#endif  // T3_HARNESS_WORKBENCH_H_

@@ -1,0 +1,40 @@
+#include "model/t3_model.h"
+
+#include "common/string_util.h"
+
+namespace t3 {
+
+Status T3Model::SaveToFile(const std::string& path) const {
+  std::string out = StrFormat("t3model target %d\n", static_cast<int>(target_));
+  out += forest_.ToText();
+  return WriteStringToFile(path, out);
+}
+
+Result<T3Model> T3Model::LoadFromFile(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  std::string_view text = *content;
+
+  PredictionTarget target = PredictionTarget::kPerTuple;
+  const std::string_view header = "t3model target ";
+  if (text.substr(0, header.size()) == header) {
+    const size_t value_pos = header.size();
+    const size_t line_end = text.find('\n', value_pos);
+    if (line_end == std::string_view::npos) {
+      return InvalidArgumentError("truncated t3model header");
+    }
+    const int id = std::atoi(
+        std::string(text.substr(value_pos, line_end - value_pos)).c_str());
+    if (id < 0 || id > 2) {
+      return InvalidArgumentError(StrFormat("unknown model target %d", id));
+    }
+    target = static_cast<PredictionTarget>(id);
+    text.remove_prefix(line_end + 1);
+  }
+
+  Result<Forest> forest = Forest::FromText(text);
+  if (!forest.ok()) return forest.status();
+  return T3Model(*std::move(forest), target);
+}
+
+}  // namespace t3

@@ -1,0 +1,75 @@
+#ifndef T3_MODEL_T3_MODEL_H_
+#define T3_MODEL_T3_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "gbt/forest.h"
+
+namespace t3 {
+
+/// What one model prediction stands for. The integer values are the wire
+/// format of the "t3model target <n>" file header (data/model_*.txt).
+enum class PredictionTarget {
+  kPerTuple = 0,    ///< Main T3 model: time to push one tuple through a
+                    ///  pipeline; multiply by input cardinality.
+  kPerPipeline = 1, ///< Ablation: total pipeline time directly.
+  kPerQuery = 2,    ///< Ablation / AutoWLM-like: whole-query time from one
+                    ///  per-query feature vector.
+};
+
+/// Floor for measured times entering the log transform.
+inline constexpr double kMinSeconds = 1e-12;
+
+/// T3 trains on negated log time: targets are positive and MAPE-friendly
+/// (a measured 1us pipeline maps to ~13.8).
+inline double TransformTarget(double seconds) {
+  return -std::log(std::max(seconds, kMinSeconds));
+}
+
+/// Inverse of TransformTarget: model output back to seconds.
+inline double InverseTransformTarget(double y) { return std::exp(-y); }
+
+/// A trained T3 predictor: a GBDT forest plus the semantics of its output.
+/// Serialized as the forest's text format behind a one-line header:
+///
+///   t3model target 0
+///   t3gbt v1
+///   ...
+class T3Model {
+ public:
+  T3Model() = default;
+  T3Model(Forest forest, PredictionTarget target)
+      : forest_(std::move(forest)), target_(target) {}
+
+  const Forest& forest() const { return forest_; }
+  PredictionTarget target() const { return target_; }
+
+  /// Raw model output (transformed domain) for one feature row.
+  double PredictRaw(const double* row) const { return forest_.Predict(row); }
+
+  /// Predicted pipeline seconds for one pipeline feature row. For
+  /// kPerTuple models the per-tuple time is scaled by the pipeline's input
+  /// cardinality; other targets ignore it.
+  double PredictPipelineSeconds(const double* row,
+                                double input_cardinality) const {
+    const double seconds = InverseTransformTarget(PredictRaw(row));
+    if (target_ == PredictionTarget::kPerTuple) {
+      return seconds * std::max(input_cardinality, 1.0);
+    }
+    return seconds;
+  }
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<T3Model> LoadFromFile(const std::string& path);
+
+ private:
+  Forest forest_;
+  PredictionTarget target_ = PredictionTarget::kPerTuple;
+};
+
+}  // namespace t3
+
+#endif  // T3_MODEL_T3_MODEL_H_

@@ -1,0 +1,85 @@
+#include "treejit/evaluator.h"
+
+#include <cmath>
+#include <future>
+
+#include "common/thread_pool.h"
+
+namespace t3 {
+
+void ForestEvaluator::PredictBatch(const double* rows, size_t num_rows,
+                                   size_t num_features, double* out) const {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = Predict(rows + i * num_features);
+  }
+}
+
+FlatEvaluator::FlatEvaluator(const Forest& forest)
+    : base_score_(forest.base_score) {
+  nodes_.reserve(forest.NumNodes());
+  roots_.reserve(forest.trees.size());
+  for (const Tree& tree : forest.trees) {
+    const int32_t offset = static_cast<int32_t>(nodes_.size());
+    roots_.push_back(offset);
+    for (const TreeNode& node : tree.nodes) {
+      FlatNode flat;
+      if (node.is_leaf) {
+        flat.threshold_or_value = node.value;
+        flat.feature = -1;
+        flat.left = -1;
+        flat.right = -1;
+        flat.default_left = 0;
+      } else {
+        flat.threshold_or_value = node.threshold;
+        flat.feature = node.feature;
+        flat.left = offset + node.left;
+        flat.right = offset + node.right;
+        flat.default_left = node.default_left ? 1 : 0;
+      }
+      nodes_.push_back(flat);
+    }
+  }
+}
+
+double FlatEvaluator::Predict(const double* row) const {
+  double sum = base_score_;
+  for (const int32_t root : roots_) {
+    const FlatNode* node = &nodes_[static_cast<size_t>(root)];
+    while (node->feature >= 0) {
+      const double x = row[node->feature];
+      // Same predicate as GoesLeft(): strict less-than, NaN routes by flag.
+      const bool left =
+          std::isnan(x) ? node->default_left != 0 : x < node->threshold_or_value;
+      node = &nodes_[static_cast<size_t>(left ? node->left : node->right)];
+    }
+    sum += node->threshold_or_value;
+  }
+  return sum;
+}
+
+double PredictSumParallel(const ForestEvaluator& evaluator, ThreadPool* pool,
+                          const double* rows, size_t num_rows,
+                          size_t num_features) {
+  if (num_rows == 0) return 0.0;
+  const size_t num_chunks =
+      std::min(pool->num_threads(), num_rows);
+  std::vector<std::future<double>> partials;
+  partials.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = num_rows * c / num_chunks;
+    const size_t end = num_rows * (c + 1) / num_chunks;
+    partials.push_back(pool->Async([&evaluator, rows, num_features, begin,
+                                    end] {
+      double sum = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        sum += evaluator.Predict(rows + i * num_features);
+      }
+      return sum;
+    }));
+  }
+  double total = 0.0;
+  for (std::future<double>& partial : partials) total += partial.get();
+  return total;
+}
+
+}  // namespace t3

@@ -1,0 +1,62 @@
+#ifndef T3_TREEJIT_JIT_H_
+#define T3_TREEJIT_JIT_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "treejit/evaluator.h"
+
+namespace t3 {
+
+/// A forest compiled to native x86-64 machine code, the paper's core
+/// latency optimization (Tables 1-2, Figure 5): each inner node becomes a
+/// compare + conditional branch, each leaf a return — the same scheme as
+/// lleaves, without the LLVM dependency.
+///
+/// Each tree is emitted as one function `double (*)(const double* row)`
+/// (System V AMD64: row in rdi, result in xmm0); Predict sums the tree
+/// results after base_score in tree order, so predictions are bit-identical
+/// to the interpreted evaluators.
+///
+/// Code lives in mmap'd memory managed W^X: pages are writable during
+/// emission, then flipped to read+execute — never both.
+///
+/// Compile returns an error (and callers fall back to the interpreters) on:
+///  - non-x86-64 hosts,
+///  - mmap/mprotect failure,
+///  - a structurally invalid forest.
+class CompiledForest : public ForestEvaluator {
+ public:
+  static Result<std::unique_ptr<CompiledForest>> Compile(const Forest& forest);
+
+  ~CompiledForest() override;
+  CompiledForest(const CompiledForest&) = delete;
+  CompiledForest& operator=(const CompiledForest&) = delete;
+
+  double Predict(const double* row) const override;
+  void PredictBatch(const double* rows, size_t num_rows, size_t num_features,
+                    double* out) const override;
+
+  /// Bytes of emitted machine code (before page rounding).
+  size_t code_size() const { return code_size_; }
+
+ private:
+  using TreeFn = double (*)(const double*);
+
+  CompiledForest() = default;
+
+  double base_score_ = 0.0;
+  std::vector<TreeFn> tree_fns_;
+  void* code_ = nullptr;       // mmap'd region, PROT_READ | PROT_EXEC.
+  size_t mapped_size_ = 0;
+  size_t code_size_ = 0;
+};
+
+/// True when this build can JIT-compile forests (x86-64 with mmap).
+bool JitSupported();
+
+}  // namespace t3
+
+#endif  // T3_TREEJIT_JIT_H_

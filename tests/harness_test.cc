@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "gbt/trainer.h"
+#include "harness/corpus.h"
+#include "harness/evaluate.h"
+#include "harness/report.h"
+#include "model/t3_model.h"
+
+namespace t3 {
+namespace {
+
+// The 18MB corpus is a local artifact (not tracked in git); corpus-backed
+// tests skip when it is absent, e.g. on a fresh clone.
+const Corpus* TestCorpus() {
+  static const Corpus* corpus = []() -> const Corpus* {
+    Result<Corpus> loaded = LoadCorpusFromFile(std::string(T3_SOURCE_DIR) +
+                                               "/data/corpus_q40_r10.txt");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "corpus unavailable: %s\n",
+                   loaded.status().ToString().c_str());
+      return nullptr;
+    }
+    return new Corpus(*std::move(loaded));
+  }();
+  return corpus;
+}
+
+#define T3_REQUIRE_CORPUS()                                      \
+  const Corpus* corpus_ptr = TestCorpus();                       \
+  if (corpus_ptr == nullptr)                                     \
+    GTEST_SKIP() << "data/corpus_q40_r10.txt not present";       \
+  const Corpus& corpus = *corpus_ptr
+
+TEST(CorpusTest, LoadsCheckedInCorpusFixture) {
+  T3_REQUIRE_CORPUS();
+  EXPECT_EQ(corpus.records.size(), 13611u);
+
+  // Every record is internally consistent.
+  size_t test_records = 0;
+  for (const QueryRecord& record : corpus.records) {
+    ASSERT_FALSE(record.instance.empty());
+    ASSERT_EQ(record.total_run_seconds.size(),
+              static_cast<size_t>(record.runs));
+    ASSERT_EQ(record.feat_true.size(), record.pipeline_times.size());
+    ASSERT_EQ(record.feat_est.size(), record.pipeline_times.size());
+    ASSERT_GT(record.median_seconds, 0.0);
+    for (const PipelineFeatures& features : record.feat_true) {
+      ASSERT_EQ(features.values.size(), 48u);
+    }
+    if (record.is_test) ++test_records;
+  }
+  // The held-out TPC-DS-like instances.
+  EXPECT_EQ(test_records, 2025u);
+  EXPECT_GT(corpus.NumPipelines(), corpus.records.size());
+}
+
+TEST(CorpusTest, SaveLoadRoundTripsExactly) {
+  // Round-trip a slice of the real corpus through the writer and parser.
+  T3_REQUIRE_CORPUS();
+  Corpus slice;
+  slice.records.assign(corpus.records.begin(), corpus.records.begin() + 25);
+
+  const std::string text = CorpusToText(slice);
+  Result<Corpus> reparsed = ParseCorpus(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->records.size(), slice.records.size());
+  // Bit-exact: re-serializing gives the identical text.
+  EXPECT_EQ(CorpusToText(*reparsed), text);
+
+  const QueryRecord& a = slice.records[0];
+  const QueryRecord& b = reparsed->records[0];
+  EXPECT_EQ(b.instance, a.instance);
+  EXPECT_EQ(b.median_seconds, a.median_seconds);
+  EXPECT_EQ(b.plan_nodes.size(), a.plan_nodes.size());
+  EXPECT_EQ(b.feat_true[0].values, a.feat_true[0].values);
+}
+
+TEST(CorpusTest, MissingFileIsAnError) {
+  Result<Corpus> corpus = LoadCorpusFromFile("/nonexistent/corpus.txt");
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CorpusTest, RejectsMalformedHeader) {
+  EXPECT_FALSE(ParseCorpus("bogus v1\nrecords 0\n").ok());
+}
+
+TEST(EvaluateTest, QErrorIsSymmetricRatio) {
+  EXPECT_DOUBLE_EQ(QError(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(1.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(3.0, 3.0), 1.0);
+  // Degenerate actuals are floored, not infinite.
+  EXPECT_TRUE(std::isfinite(QError(1.0, 0.0)));
+}
+
+TEST(EvaluateTest, SummarizeQErrors) {
+  const QErrorSummary summary = SummarizeQErrors({1, 1, 1, 1, 1, 1, 1, 1, 1, 10});
+  EXPECT_DOUBLE_EQ(summary.p50, 1.0);
+  EXPECT_NEAR(summary.avg, 1.9, 1e-12);
+  EXPECT_GE(summary.p90, 1.0);
+}
+
+TEST(EvaluateTest, SelectRecordsFiltersTrainAndTest) {
+  T3_REQUIRE_CORPUS();
+  const auto train = SelectRecords(
+      corpus, [](const QueryRecord& r) { return !r.is_test; });
+  const auto test = SelectRecords(
+      corpus, [](const QueryRecord& r) { return r.is_test; });
+  EXPECT_EQ(train.size() + test.size(), corpus.records.size());
+  EXPECT_EQ(test.size(), 2025u);
+}
+
+TEST(EvaluateTest, TrainedModelBeatsTrivialBaselineOnTrainSet) {
+  // Train a small per-tuple model on a slice of the corpus and check its
+  // q-error is far better than predicting the global median for everything.
+  T3_REQUIRE_CORPUS();
+  std::vector<const QueryRecord*> records;
+  for (size_t i = 0; i < 400; ++i) records.push_back(&corpus.records[i]);
+
+  std::vector<double> rows;
+  std::vector<double> targets;
+  for (const QueryRecord* record : records) {
+    for (size_t p = 0; p < record->feat_true.size(); ++p) {
+      const PipelineFeatures& features = record->feat_true[p];
+      rows.insert(rows.end(), features.values.begin(), features.values.end());
+      const double tuples = std::max(features.input_cardinality, 1.0);
+      targets.push_back(TransformTarget(
+          record->pipeline_times[p].median_seconds / tuples));
+    }
+  }
+  TrainParams params;
+  params.num_trees = 60;
+  params.objective = Objective::kMape;
+  Result<Forest> forest = TrainForest(rows, targets, 48, params);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  const T3Model model(*std::move(forest), PredictionTarget::kPerTuple);
+
+  const QErrorSummary summary = SummarizeQErrors(QErrors(model, records));
+  EXPECT_LT(summary.p50, 2.0);
+
+  std::vector<double> medians;
+  for (const QueryRecord* r : records) medians.push_back(r->median_seconds);
+  const double global = Median(medians);
+  std::vector<double> baseline_errors;
+  for (const QueryRecord* r : records) {
+    baseline_errors.push_back(QError(global, r->median_seconds));
+  }
+  const QErrorSummary baseline = SummarizeQErrors(baseline_errors);
+  EXPECT_LT(summary.p50, baseline.p50 * 0.5)
+      << "model p50 " << summary.p50 << " vs baseline p50 " << baseline.p50;
+}
+
+TEST(ReportTest, TableFormatsAlignedColumns) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "20000"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("20000"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t3

@@ -1,0 +1,302 @@
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "gbt/forest.h"
+#include "treejit/evaluator.h"
+#include "treejit/jit.h"
+
+namespace t3 {
+namespace {
+
+// Builds a random tree into `tree` and returns the new subtree's root index.
+// Thresholds are drawn from a small grid so that rows drawn from the same
+// grid regularly hit exact threshold values (the x == threshold boundary).
+int BuildRandomSubtree(Tree* tree, Rng* rng, int num_features, int depth) {
+  const int index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  const bool leaf = depth <= 0 || rng->Bernoulli(0.3);
+  if (leaf) {
+    TreeNode& node = tree->nodes[index];
+    node.is_leaf = true;
+    node.value = rng->UniformDouble(-10, 10);
+    return index;
+  }
+  const int feature = static_cast<int>(rng->UniformInt(0, num_features - 1));
+  const double threshold = 0.25 * rng->UniformInt(-8, 8);
+  const bool default_left = rng->Bernoulli(0.5);
+  const int left = BuildRandomSubtree(tree, rng, num_features, depth - 1);
+  const int right = BuildRandomSubtree(tree, rng, num_features, depth - 1);
+  TreeNode& node = tree->nodes[index];
+  node.is_leaf = false;
+  node.feature = feature;
+  node.threshold = threshold;
+  node.left = left;
+  node.right = right;
+  node.default_left = default_left;
+  return index;
+}
+
+Forest MakeRandomForest(Rng* rng, int num_features, int num_trees,
+                        int max_depth) {
+  Forest forest;
+  forest.num_features = num_features;
+  forest.base_score = rng->UniformDouble(-5, 5);
+  for (int t = 0; t < num_trees; ++t) {
+    Tree tree;
+    BuildRandomSubtree(&tree, rng, num_features, max_depth);
+    forest.trees.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+// One random row; roughly 10% NaN entries and the rest drawn from the same
+// grid as the thresholds, so boundary hits (x == threshold) are common.
+std::vector<double> MakeRandomRow(Rng* rng, int num_features) {
+  std::vector<double> row(num_features);
+  for (double& v : row) {
+    if (rng->Bernoulli(0.1)) {
+      v = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      v = 0.25 * rng->UniformInt(-8, 8);
+    }
+  }
+  return row;
+}
+
+// The tentpole invariant: all three evaluators are bit-identical on 100+
+// random forests x random rows, including NaN and threshold-boundary inputs.
+TEST(EvaluatorAgreementTest, AllEvaluatorsBitExactOnRandomForests) {
+  Rng rng(2024);
+  int jit_compiled = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const int num_features = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    const int num_trees = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    const int max_depth = 1 + static_cast<int>(rng.UniformInt(0, 5));
+    const Forest forest =
+        MakeRandomForest(&rng, num_features, num_trees, max_depth);
+    ASSERT_TRUE(forest.Validate().ok()) << "trial " << trial;
+
+    const InterpretedEvaluator interpreted(forest);
+    const FlatEvaluator flat(forest);
+    Result<std::unique_ptr<CompiledForest>> compiled =
+        CompiledForest::Compile(forest);
+    if (JitSupported()) {
+      ASSERT_TRUE(compiled.ok())
+          << "trial " << trial << ": " << compiled.status().ToString();
+      ++jit_compiled;
+    }
+
+    for (int r = 0; r < 25; ++r) {
+      const std::vector<double> row = MakeRandomRow(&rng, num_features);
+      const double reference = interpreted.Predict(row.data());
+      ASSERT_EQ(flat.Predict(row.data()), reference)
+          << "flat disagrees, trial " << trial << " row " << r;
+      if (compiled.ok()) {
+        ASSERT_EQ((*compiled)->Predict(row.data()), reference)
+            << "JIT disagrees, trial " << trial << " row " << r;
+      }
+    }
+  }
+  if (JitSupported()) {
+    EXPECT_EQ(jit_compiled, 120);
+  }
+}
+
+TEST(EvaluatorAgreementTest, ThresholdBoundaryGoesRight) {
+  // x == threshold must take the right branch (predicate is strict <) in
+  // every evaluator.
+  Forest forest;
+  forest.num_features = 1;
+  forest.base_score = 0.0;
+  Tree tree;
+  tree.nodes.resize(3);
+  tree.nodes[0].feature = 0;
+  tree.nodes[0].threshold = 1.5;
+  tree.nodes[0].left = 1;
+  tree.nodes[0].right = 2;
+  tree.nodes[1].is_leaf = true;
+  tree.nodes[1].value = -1.0;
+  tree.nodes[2].is_leaf = true;
+  tree.nodes[2].value = +1.0;
+  forest.trees.push_back(tree);
+  ASSERT_TRUE(forest.Validate().ok());
+
+  const InterpretedEvaluator interpreted(forest);
+  const FlatEvaluator flat(forest);
+  Result<std::unique_ptr<CompiledForest>> compiled =
+      CompiledForest::Compile(forest);
+
+  const double boundary = 1.5;
+  const double below = std::nextafter(1.5, 0.0);
+  EXPECT_EQ(interpreted.Predict(&boundary), 1.0);
+  EXPECT_EQ(interpreted.Predict(&below), -1.0);
+  EXPECT_EQ(flat.Predict(&boundary), 1.0);
+  EXPECT_EQ(flat.Predict(&below), -1.0);
+  if (compiled.ok()) {
+    EXPECT_EQ((*compiled)->Predict(&boundary), 1.0);
+    EXPECT_EQ((*compiled)->Predict(&below), -1.0);
+  }
+}
+
+TEST(EvaluatorAgreementTest, NanHonorsDefaultLeft) {
+  for (bool default_left : {false, true}) {
+    Forest forest;
+    forest.num_features = 1;
+    Tree tree;
+    tree.nodes.resize(3);
+    tree.nodes[0].feature = 0;
+    tree.nodes[0].threshold = 0.0;
+    tree.nodes[0].left = 1;
+    tree.nodes[0].right = 2;
+    tree.nodes[0].default_left = default_left;
+    tree.nodes[1].is_leaf = true;
+    tree.nodes[1].value = -1.0;
+    tree.nodes[2].is_leaf = true;
+    tree.nodes[2].value = +1.0;
+    forest.trees.push_back(tree);
+
+    const double expected = default_left ? -1.0 : 1.0;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(forest.Predict(&nan), expected);
+    EXPECT_EQ(FlatEvaluator(forest).Predict(&nan), expected);
+    Result<std::unique_ptr<CompiledForest>> compiled =
+        CompiledForest::Compile(forest);
+    if (compiled.ok()) {
+      EXPECT_EQ((*compiled)->Predict(&nan), expected)
+          << "default_left=" << default_left;
+    }
+  }
+}
+
+TEST(EvaluatorAgreementTest, InfinityFollowsStrictLess) {
+  Forest forest;
+  forest.num_features = 1;
+  Tree tree;
+  tree.nodes.resize(3);
+  tree.nodes[0].feature = 0;
+  tree.nodes[0].threshold = 0.0;
+  tree.nodes[0].left = 1;
+  tree.nodes[0].right = 2;
+  tree.nodes[1].is_leaf = true;
+  tree.nodes[1].value = -1.0;
+  tree.nodes[2].is_leaf = true;
+  tree.nodes[2].value = +1.0;
+  forest.trees.push_back(tree);
+
+  const double pos_inf = std::numeric_limits<double>::infinity();
+  const double neg_inf = -pos_inf;
+  Result<std::unique_ptr<CompiledForest>> compiled =
+      CompiledForest::Compile(forest);
+  for (const auto& [x, expected] :
+       {std::pair{pos_inf, 1.0}, std::pair{neg_inf, -1.0}}) {
+    EXPECT_EQ(forest.Predict(&x), expected);
+    EXPECT_EQ(FlatEvaluator(forest).Predict(&x), expected);
+    if (compiled.ok()) {
+      EXPECT_EQ((*compiled)->Predict(&x), expected);
+    }
+  }
+}
+
+TEST(JitTest, WideFeatureOffsetsNeedDisp32) {
+  // Features beyond index 15 have byte offsets > 127 and exercise the
+  // disp32 addressing path of the emitter.
+  if (!JitSupported()) GTEST_SKIP() << "JIT unsupported on this host";
+  Rng rng(5);
+  const int num_features = 200;
+  const Forest forest = MakeRandomForest(&rng, num_features, 8, 6);
+  Result<std::unique_ptr<CompiledForest>> compiled =
+      CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  for (int r = 0; r < 50; ++r) {
+    const std::vector<double> row = MakeRandomRow(&rng, num_features);
+    ASSERT_EQ((*compiled)->Predict(row.data()), forest.Predict(row.data()));
+  }
+}
+
+TEST(JitTest, RejectsInvalidForest) {
+  if (!JitSupported()) GTEST_SKIP() << "JIT unsupported on this host";
+  Forest forest;
+  forest.num_features = 1;
+  Tree tree;
+  tree.nodes.resize(1);
+  tree.nodes[0].feature = 0;
+  tree.nodes[0].threshold = 0.0;
+  tree.nodes[0].left = 5;  // Out of range.
+  tree.nodes[0].right = 6;
+  forest.trees.push_back(tree);
+  EXPECT_FALSE(CompiledForest::Compile(forest).ok());
+}
+
+TEST(JitTest, UnsupportedHostsReportUnavailable) {
+  if (JitSupported()) {
+    GTEST_SKIP() << "host supports the JIT; fallback path not reachable";
+  }
+  Rng rng(1);
+  const Forest forest = MakeRandomForest(&rng, 4, 2, 3);
+  Result<std::unique_ptr<CompiledForest>> compiled =
+      CompiledForest::Compile(forest);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(BatchTest, PredictBatchMatchesLoop) {
+  Rng rng(77);
+  const int num_features = 6;
+  const Forest forest = MakeRandomForest(&rng, num_features, 5, 5);
+  const FlatEvaluator flat(forest);
+  Result<std::unique_ptr<CompiledForest>> compiled =
+      CompiledForest::Compile(forest);
+
+  const size_t num_rows = 64;
+  std::vector<double> rows;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const std::vector<double> row = MakeRandomRow(&rng, num_features);
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+
+  std::vector<double> out(num_rows);
+  flat.PredictBatch(rows.data(), num_rows, num_features, out.data());
+  for (size_t i = 0; i < num_rows; ++i) {
+    EXPECT_EQ(out[i], flat.Predict(&rows[i * num_features])) << "row " << i;
+  }
+  if (compiled.ok()) {
+    (*compiled)->PredictBatch(rows.data(), num_rows, num_features, out.data());
+    for (size_t i = 0; i < num_rows; ++i) {
+      EXPECT_EQ(out[i], forest.Predict(&rows[i * num_features])) << "row " << i;
+    }
+  }
+}
+
+TEST(BatchTest, PredictSumParallelMatchesSerialSum) {
+  Rng rng(99);
+  const int num_features = 5;
+  const Forest forest = MakeRandomForest(&rng, num_features, 4, 5);
+  const FlatEvaluator flat(forest);
+
+  const size_t num_rows = 500;
+  std::vector<double> rows(num_rows * num_features);
+  for (double& v : rows) v = rng.UniformDouble(-2, 2);
+
+  double serial = 0.0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    serial += flat.Predict(&rows[i * num_features]);
+  }
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const double parallel =
+        PredictSumParallel(flat, &pool, rows.data(), num_rows, num_features);
+    // Grouping of partial sums differs, so allow relative rounding slack.
+    EXPECT_NEAR(parallel, serial, 1e-9 * std::abs(serial) + 1e-9)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace t3
