@@ -1,0 +1,232 @@
+#include "analysis/jit_auditor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+bool Match(const uint8_t* code, size_t size, size_t offset,
+           std::initializer_list<uint8_t> bytes) {
+  if (size - offset < bytes.size()) return false;
+  size_t i = offset;
+  for (const uint8_t b : bytes) {
+    if (code[i++] != b) return false;
+  }
+  return true;
+}
+
+uint32_t Read32(const uint8_t* code, size_t offset) {
+  return static_cast<uint32_t>(code[offset]) |
+         static_cast<uint32_t>(code[offset + 1]) << 8 |
+         static_cast<uint32_t>(code[offset + 2]) << 16 |
+         static_cast<uint32_t>(code[offset + 3]) << 24;
+}
+
+}  // namespace
+
+bool JitCodeAuditor::DecodeOne(const uint8_t* code, size_t size,
+                               size_t offset, JitInstruction* out) {
+  out->offset = offset;
+  out->target = 0;
+  out->disp = 0;
+  if (Match(code, size, offset, {0xC3})) {
+    out->op = JitOp::kRet;
+    out->length = 1;
+    return true;
+  }
+  if (Match(code, size, offset, {0x48, 0xB8})) {
+    if (size - offset < 10) return false;
+    out->op = JitOp::kMovRaxImm64;
+    out->length = 10;
+    return true;
+  }
+  if (Match(code, size, offset, {0x66, 0x48, 0x0F, 0x6E, 0xC0})) {
+    out->op = JitOp::kMovqXmm0Rax;
+    out->length = 5;
+    return true;
+  }
+  if (Match(code, size, offset, {0x66, 0x48, 0x0F, 0x6E, 0xC8})) {
+    out->op = JitOp::kMovqXmm1Rax;
+    out->length = 5;
+    return true;
+  }
+  if (Match(code, size, offset, {0xF2, 0x0F, 0x10, 0x47})) {
+    if (size - offset < 5) return false;
+    out->op = JitOp::kLoadFeature8;
+    out->length = 5;
+    out->disp = code[offset + 4];
+    return true;
+  }
+  if (Match(code, size, offset, {0xF2, 0x0F, 0x10, 0x87})) {
+    if (size - offset < 8) return false;
+    out->op = JitOp::kLoadFeature32;
+    out->length = 8;
+    out->disp = Read32(code, offset + 4);
+    return true;
+  }
+  if (Match(code, size, offset, {0x66, 0x0F, 0x2E, 0xC8})) {
+    out->op = JitOp::kUcomisdXmm1Xmm0;
+    out->length = 4;
+    return true;
+  }
+  if (Match(code, size, offset, {0x66, 0x0F, 0x2E, 0xC1})) {
+    out->op = JitOp::kUcomisdXmm0Xmm1;
+    out->length = 4;
+    return true;
+  }
+  if (Match(code, size, offset, {0x0F, 0x87}) ||
+      Match(code, size, offset, {0x0F, 0x82})) {
+    if (size - offset < 6) return false;
+    out->op = code[offset + 1] == 0x87 ? JitOp::kJa : JitOp::kJb;
+    out->length = 6;
+    const int32_t rel = static_cast<int32_t>(Read32(code, offset + 2));
+    // Target relative to the end of the instruction; computed in signed
+    // 64-bit so a wild rel32 cannot wrap back into the buffer.
+    const int64_t target = static_cast<int64_t>(offset) + 6 + rel;
+    // A negative target is clamped past the buffer so every later
+    // range check fails it.
+    out->target = target < 0 ? size + 1 : static_cast<size_t>(target);
+    return true;
+  }
+  return false;
+}
+
+AnalysisReport JitCodeAuditor::Audit(const uint8_t* code, size_t size,
+                                     const std::vector<size_t>& entries,
+                                     int num_features) const {
+  AnalysisReport report;
+
+  // Region lookup: region(i) = [entries[i], entries[i+1]) with the last
+  // region closed by the buffer end.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const bool ascending = i == 0 || entries[i] > entries[i - 1];
+    if (entries[i] >= size || !ascending) {
+      report.Add(Severity::kError, "bad-entry", static_cast<int>(i),
+                 static_cast<int>(entries[i]),
+                 StrFormat("entry offset %zu not an ascending offset inside "
+                           "the %zu-byte buffer",
+                           entries[i], size));
+      return report;
+    }
+  }
+  if (entries.empty() || entries[0] != 0) {
+    report.Add(Severity::kError, "bad-entry", -1, -1,
+               "first tree entry must be at offset 0");
+    return report;
+  }
+
+  const auto region_of = [&entries](size_t offset) -> size_t {
+    // Last entry <= offset.
+    const auto it =
+        std::upper_bound(entries.begin(), entries.end(), offset);
+    return static_cast<size_t>(it - entries.begin()) - 1;
+  };
+  const auto region_end = [&entries, size](size_t region) -> size_t {
+    return region + 1 < entries.size() ? entries[region + 1] : size;
+  };
+
+  // Pass 1: linear decode. Instruction boundaries double as the branch
+  // target whitelist.
+  std::map<size_t, JitInstruction> instructions;
+  size_t offset = 0;
+  while (offset < size) {
+    JitInstruction instruction;
+    if (!DecodeOne(code, size, offset, &instruction)) {
+      report.Add(Severity::kError,
+                 size - offset < 10 ? "truncated-instruction"
+                                    : "unknown-opcode",
+                 static_cast<int>(region_of(offset)),
+                 static_cast<int>(offset),
+                 StrFormat("byte 0x%02X is not in the emitter whitelist",
+                           code[offset]));
+      return report;  // Byte stream is desynchronized; nothing more to say.
+    }
+    instructions[offset] = instruction;
+    offset += instruction.length;
+  }
+
+  // Every entry must land on an instruction boundary (pass 1 started at
+  // entries[0] == 0, so interior entries could still fall mid-instruction
+  // if the emitter miscounted).
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (instructions.find(entries[i]) == instructions.end()) {
+      report.Add(Severity::kError, "bad-entry", static_cast<int>(i),
+                 static_cast<int>(entries[i]),
+                 "tree entry is not an instruction boundary");
+    }
+  }
+  if (report.HasErrors()) return report;
+
+  // Pass 2: per-instruction operand checks.
+  for (const auto& [at, instruction] : instructions) {
+    const size_t region = region_of(at);
+    const int tree = static_cast<int>(region);
+    const int node = static_cast<int>(at);
+    if (instruction.op == JitOp::kLoadFeature8 ||
+        instruction.op == JitOp::kLoadFeature32) {
+      const uint32_t disp = instruction.disp;
+      if (disp % 8 != 0 ||
+          disp / 8 >= static_cast<uint32_t>(std::max(num_features, 0))) {
+        report.Add(Severity::kError, "oob-feature-load", tree, node,
+                   StrFormat("movsd xmm0, [rdi + %u] reads outside the "
+                             "%d-feature row",
+                             disp, num_features));
+      }
+    }
+    if (instruction.op == JitOp::kJa || instruction.op == JitOp::kJb) {
+      const size_t target = instruction.target;
+      const bool in_region =
+          target >= entries[region] && target < region_end(region);
+      if (!in_region || instructions.find(target) == instructions.end()) {
+        report.Add(Severity::kError, "bad-branch-target", tree, node,
+                   StrFormat("branch to offset %zu, outside region "
+                             "[%zu, %zu) or mid-instruction",
+                             target, entries[region], region_end(region)));
+      }
+    }
+  }
+  if (report.HasErrors()) return report;
+
+  // Pass 3: control-flow reachability per region. Successors: ret has
+  // none; ja/jb fall through and jump; everything else falls through.
+  std::map<size_t, char> reachable;
+  for (size_t region = 0; region < entries.size(); ++region) {
+    const size_t end = region_end(region);
+    std::vector<size_t> work = {entries[region]};
+    while (!work.empty()) {
+      const size_t at = work.back();
+      work.pop_back();
+      if (reachable[at]) continue;
+      reachable[at] = 1;
+      const JitInstruction& instruction = instructions[at];
+      if (instruction.op == JitOp::kRet) continue;
+      if (instruction.op == JitOp::kJa || instruction.op == JitOp::kJb) {
+        work.push_back(instruction.target);
+      }
+      const size_t next = at + instruction.length;
+      if (next >= end) {
+        report.Add(Severity::kError, "fallthrough-out-of-region",
+                   static_cast<int>(region), static_cast<int>(at),
+                   "execution can fall through past the end of this tree's "
+                   "code");
+        continue;
+      }
+      work.push_back(next);
+    }
+  }
+  for (const auto& [at, instruction] : instructions) {
+    if (reachable[at]) continue;
+    const bool is_ret = instruction.op == JitOp::kRet;
+    report.Add(is_ret ? Severity::kError : Severity::kWarning,
+               is_ret ? "unreachable-ret" : "unreachable-code",
+               static_cast<int>(region_of(at)), static_cast<int>(at),
+               is_ret ? "ret instruction unreachable from its tree entry"
+                      : "instruction unreachable from its tree entry");
+  }
+  return report;
+}
+
+}  // namespace t3

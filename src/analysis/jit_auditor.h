@@ -1,0 +1,77 @@
+#ifndef T3_ANALYSIS_JIT_AUDITOR_H_
+#define T3_ANALYSIS_JIT_AUDITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/report.h"
+
+namespace t3 {
+
+/// The instruction vocabulary TreeJit emits — nothing else may appear in an
+/// audited buffer. Exposed for tests and for the disassembly listing.
+enum class JitOp {
+  kMovRaxImm64,     ///< 48 B8 imm64            mov rax, <bits>
+  kMovqXmm0Rax,     ///< 66 48 0F 6E C0         movq xmm0, rax
+  kMovqXmm1Rax,     ///< 66 48 0F 6E C8         movq xmm1, rax
+  kLoadFeature8,    ///< F2 0F 10 47 disp8      movsd xmm0, [rdi + disp8]
+  kLoadFeature32,   ///< F2 0F 10 87 disp32     movsd xmm0, [rdi + disp32]
+  kUcomisdXmm1Xmm0, ///< 66 0F 2E C8            ucomisd xmm1, xmm0
+  kUcomisdXmm0Xmm1, ///< 66 0F 2E C1            ucomisd xmm0, xmm1
+  kJa,              ///< 0F 87 rel32            ja <target>
+  kJb,              ///< 0F 82 rel32            jb <target>
+  kRet,             ///< C3                     ret
+};
+
+/// One decoded instruction of an audited buffer.
+struct JitInstruction {
+  JitOp op;
+  size_t offset = 0;      ///< Byte offset in the code buffer.
+  size_t length = 0;      ///< Encoded length in bytes.
+  size_t target = 0;      ///< Branch destination (kJa / kJb only).
+  uint32_t disp = 0;      ///< Feature-load displacement (kLoadFeature*).
+};
+
+/// Static auditor over the raw bytes TreeJit emitted — the machine-code
+/// half of the compiled-tree trust story. The forest IR was already
+/// verified (ForestVerifier); this pass proves the *emission* did not break
+/// anything, by linearly decoding the buffer with a whitelist-only x86-64
+/// decoder and checking, per tree function region [entries[i], entries[i+1]):
+///
+///  - `unknown-opcode` / `truncated-instruction` (Error): every byte of the
+///    buffer belongs to exactly one whitelisted instruction.
+///  - `bad-entry` (Error): every entry offset is an instruction boundary
+///    inside the buffer, in ascending order.
+///  - `bad-branch-target` (Error): every ja/jb lands on an instruction
+///    boundary inside its own function region — control flow can never
+///    leave the buffer or jump mid-instruction.
+///  - `oob-feature-load` (Error): every memory operand is [rdi + 8*k] with
+///    k < num_features — a static proof the compiled tree cannot read
+///    outside the caller's feature vector.
+///  - `fallthrough-out-of-region` (Error): no reachable instruction can
+///    fall through past its region's end into the next tree's code.
+///  - `unreachable-ret` (Error): every emitted ret is reachable from its
+///    region entry — a dead ret means the emitter's layout logic broke.
+///  - `unreachable-code` (Warning): any other unreachable instruction.
+///
+/// The auditor is pure byte inspection: it runs on any host (including
+/// non-x86-64 builds, where it still audits serialized buffers in tests).
+class JitCodeAuditor {
+ public:
+  /// Audits `size` bytes of emitted code with tree functions starting at
+  /// `entries` (ascending), for a forest with `num_features` features.
+  AnalysisReport Audit(const uint8_t* code, size_t size,
+                       const std::vector<size_t>& entries,
+                       int num_features) const;
+
+  /// Decodes one instruction at `offset`; false (and a diagnostic appended
+  /// by Audit) when the bytes match nothing in the whitelist. Exposed for
+  /// the auditor's own tests.
+  static bool DecodeOne(const uint8_t* code, size_t size, size_t offset,
+                        JitInstruction* out);
+};
+
+}  // namespace t3
+
+#endif  // T3_ANALYSIS_JIT_AUDITOR_H_

@@ -133,6 +133,14 @@ std::string Forest::ToText() const {
 }
 
 Result<Forest> Forest::FromText(std::string_view text) {
+  Result<Forest> forest = ParseTextUnvalidated(text);
+  if (!forest.ok()) return forest.status();
+  Status valid = forest->Validate();
+  if (!valid.ok()) return valid;
+  return forest;
+}
+
+Result<Forest> Forest::ParseTextUnvalidated(std::string_view text) {
   TokenCursor cursor(text);
   std::string_view token = cursor.NextToken();
   // Model files wrap the forest with a one-line T3 model header; skip it so
@@ -213,19 +221,42 @@ Result<Forest> Forest::FromText(std::string_view text) {
     }
     forest.trees.push_back(std::move(tree));
   }
-
-  Status valid = forest.Validate();
-  if (!valid.ok()) return valid;
+  if (!cursor.AtEnd()) {
+    return InvalidArgumentError("trailing data after the last tree");
+  }
   return forest;
 }
 
 Status Forest::Validate() const {
   if (num_features <= 0) return InvalidArgumentError("num_features <= 0");
+  if (!std::isfinite(base_score)) {
+    return InvalidArgumentError("base_score not finite");
+  }
   for (size_t t = 0; t < trees.size(); ++t) {
     const Tree& tree = trees[t];
     const int n = static_cast<int>(tree.nodes.size());
     if (n == 0) {
       return InvalidArgumentError(StrFormat("tree %zu: empty", t));
+    }
+    size_t leaves = 0;
+    for (int i = 0; i < n; ++i) {
+      const TreeNode& node = tree.nodes[static_cast<size_t>(i)];
+      if (node.is_leaf) {
+        ++leaves;
+        if (!std::isfinite(node.value)) {
+          return InvalidArgumentError(
+              StrFormat("tree %zu node %d: leaf value not finite", t, i));
+        }
+      } else if (!std::isfinite(node.threshold)) {
+        return InvalidArgumentError(
+            StrFormat("tree %zu node %d: threshold not finite", t, i));
+      }
+    }
+    if (leaves != static_cast<size_t>(n) - leaves + 1) {
+      return InvalidArgumentError(
+          StrFormat("tree %zu: %zu leaves for %zu inner nodes "
+                    "(want inner + 1)",
+                    t, leaves, static_cast<size_t>(n) - leaves));
     }
     std::vector<char> seen(static_cast<size_t>(n), 0);
     // Iterative DFS from the root; every node must be visited exactly once.

@@ -70,16 +70,29 @@ struct Forest {
   /// leaf value (feature/left/right are -1).
   std::string ToText() const;
 
-  /// Parses ToText output. Tolerates a leading "t3model target <n>" line so
-  /// the forest inside a T3 model file (data/model_*.txt) loads directly.
+  /// Parses ToText output and rejects invalid forests (see Validate).
+  /// Tolerates a leading "t3model target <n>" line so the forest inside a
+  /// T3 model file (data/model_*.txt) loads directly.
   static Result<Forest> FromText(std::string_view text);
+
+  /// FromText without the Validate gate: syntactic parse only. For tools
+  /// that want to *report* on a corrupt model (t3_lint runs the full
+  /// analysis::ForestVerifier over the result) instead of stopping at the
+  /// first invariant violation. Never feed an unvalidated forest to an
+  /// evaluator.
+  static Result<Forest> ParseTextUnvalidated(std::string_view text);
 
   Status SaveToFile(const std::string& path) const;
   static Result<Forest> LoadFromFile(const std::string& path);
 
-  /// Structural validation: node indices in range, exactly the fields of
-  /// leaves/inner nodes populated, every node reachable at most once (no
-  /// cycles, no sharing), features within num_features.
+  /// Structural and semantic validation, the loader's reject gate: node
+  /// indices in range, every node reachable exactly once (no cycles, no
+  /// sharing, no orphans), leaf count = inner count + 1, features within
+  /// num_features, thresholds / leaf values / base_score finite. Mirrors
+  /// the Error-severity checks of analysis::ForestVerifier (which reports
+  /// every finding instead of stopping at the first, and adds
+  /// warning-level lints on top); the two are kept in lockstep by
+  /// tests/analysis_test.cc.
   Status Validate() const;
 };
 

@@ -24,9 +24,8 @@ struct FeatureBins {
   std::vector<double> edges;  // ascending; bins = edges.size() + 1
 };
 
-FeatureBins BuildBins(const double* rows, size_t num_rows, size_t num_features,
-                      size_t feature, const std::vector<uint32_t>& row_indices,
-                      int max_bins) {
+FeatureBins BuildBins(const double* rows, size_t num_features, size_t feature,
+                      const std::vector<uint32_t>& row_indices, int max_bins) {
   std::vector<double> values;
   values.reserve(row_indices.size());
   for (uint32_t r : row_indices) {
@@ -166,7 +165,7 @@ void Trainer::BuildBinnedMatrix() {
   bins_.resize(num_features_);
   bin_offsets_.resize(num_features_ + 1);
   for (size_t f = 0; f < num_features_; ++f) {
-    bins_[f] = BuildBins(rows_, num_rows_, num_features_, f, train_rows_,
+    bins_[f] = BuildBins(rows_, num_features_, f, train_rows_,
                          params_.max_bins);
     bin_offsets_[f] = total_bins_;
     total_bins_ += bins_[f].edges.size() + 1;

@@ -207,6 +207,9 @@ Result<Corpus> ParseCorpus(std::string_view text) {
     }
     corpus.records.push_back(std::move(record));
   }
+  if (!cursor.AtEnd()) {
+    return InvalidArgumentError("corpus: trailing data after last record");
+  }
   return corpus;
 }
 

@@ -70,9 +70,9 @@ struct QueryRecord {
 ///     <plan_nodes> <median_seconds>
 ///   N <op> <left> <right> <cardinality> <extra> <width> <stage>   (x nodes)
 ///   T <run_seconds...>                                  (`runs` values)
-///   P <pipeline> <median> <run_seconds...>              \
-///   FT <pipeline> <input_card> <dim> <nnz> <i>:<v>...    > x pipelines
-///   FE <pipeline> <input_card> <dim> <nnz> <i>:<v>...   /
+///   P <pipeline> <median> <run_seconds...>              (P, FT, FE
+///   FT <pipeline> <input_card> <dim> <nnz> <i>:<v>...    interleaved,
+///   FE <pipeline> <input_card> <dim> <nnz> <i>:<v>...    x pipelines)
 struct Corpus {
   std::vector<QueryRecord> records;
 

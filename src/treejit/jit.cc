@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "analysis/jit_auditor.h"
 #include "common/string_util.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -54,6 +55,7 @@ class CodeBuffer {
 
   size_t size() const { return bytes_.size(); }
   const uint8_t* data() const { return bytes_.data(); }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
 
  private:
   std::vector<uint8_t> bytes_;
@@ -177,17 +179,41 @@ class TreeEmitter {
 
 }  // namespace
 
-Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
-    const Forest& forest) {
+Result<JitArtifact> EmitForestCode(const Forest& forest) {
   Status valid = forest.Validate();
   if (!valid.ok()) return valid;
 
   CodeBuffer code;
-  std::vector<size_t> entries;
-  entries.reserve(forest.trees.size());
+  JitArtifact artifact;
+  artifact.num_features = forest.num_features;
+  artifact.entries.reserve(forest.trees.size());
   for (const Tree& tree : forest.trees) {
     TreeEmitter emitter(&code, tree);
-    entries.push_back(emitter.Emit());
+    artifact.entries.push_back(emitter.Emit());
+  }
+  artifact.code = code.TakeBytes();
+  return artifact;
+}
+
+Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
+    const Forest& forest, const JitCompileOptions& options) {
+  Result<JitArtifact> artifact = EmitForestCode(forest);
+  if (!artifact.ok()) return artifact.status();
+
+  if (options.audit) {
+    // Static proof over the exact bytes about to be mapped executable: only
+    // whitelisted instructions, branch targets on instruction boundaries
+    // inside the tree's own code, feature loads inside the row. An audit
+    // failure is an emitter bug, never a property of the (already
+    // validated) forest.
+    const AnalysisReport report = JitCodeAuditor().Audit(
+        artifact->code.data(), artifact->code.size(), artifact->entries,
+        artifact->num_features);
+    if (report.HasErrors()) {
+      return InternalError(
+          StrFormat("JIT audit rejected emitted code: %s",
+                    report.ToStatus().message().c_str()));
+    }
   }
 
   // W^X: write the code into a PROT_READ|PROT_WRITE mapping, then flip the
@@ -195,7 +221,7 @@ Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
   // at the same time.
   const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
   const size_t mapped_size =
-      (std::max<size_t>(code.size(), 1) + page - 1) / page * page;
+      (std::max<size_t>(artifact->code.size(), 1) + page - 1) / page * page;
   void* memory = mmap(nullptr, mapped_size, PROT_READ | PROT_WRITE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (memory == MAP_FAILED) {
@@ -203,7 +229,7 @@ Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
         StrFormat("mmap of %zu bytes failed: %s", mapped_size,
                   std::strerror(errno)));
   }
-  std::memcpy(memory, code.data(), code.size());
+  std::memcpy(memory, artifact->code.data(), artifact->code.size());
   if (mprotect(memory, mapped_size, PROT_READ | PROT_EXEC) != 0) {
     const Status status = UnavailableError(
         StrFormat("mprotect(PROT_EXEC) failed: %s", std::strerror(errno)));
@@ -215,9 +241,9 @@ Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
   compiled->base_score_ = forest.base_score;
   compiled->code_ = memory;
   compiled->mapped_size_ = mapped_size;
-  compiled->code_size_ = code.size();
-  compiled->tree_fns_.reserve(entries.size());
-  for (const size_t entry : entries) {
+  compiled->code_size_ = artifact->code.size();
+  compiled->tree_fns_.reserve(artifact->entries.size());
+  for (const size_t entry : artifact->entries) {
     compiled->tree_fns_.push_back(reinterpret_cast<TreeFn>(
         static_cast<uint8_t*>(memory) + entry));
   }
@@ -245,14 +271,20 @@ void CompiledForest::PredictBatch(const double* rows, size_t num_rows,
 
 // Portability guard: on non-x86-64 hosts (or without mmap) compilation
 // reports Unavailable and callers fall back to FlatEvaluator /
-// InterpretedEvaluator.
+// InterpretedEvaluator. (The JitCodeAuditor itself is pure byte
+// inspection and still works on serialized buffers everywhere.)
 
-Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
-    const Forest& forest) {
+Result<JitArtifact> EmitForestCode(const Forest& forest) {
   Status valid = forest.Validate();
   if (!valid.ok()) return valid;
   return UnavailableError(
       "tree JIT requires an x86-64 host with mmap; use FlatEvaluator");
+}
+
+Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
+    const Forest& forest, const JitCompileOptions&) {
+  Result<JitArtifact> artifact = EmitForestCode(forest);
+  return artifact.status();
 }
 
 CompiledForest::~CompiledForest() = default;

@@ -10,6 +10,34 @@
 
 namespace t3 {
 
+/// Machine code emitted for a forest, before it is mapped executable: the
+/// raw bytes plus each tree function's entry offset. Exposed separately
+/// from Compile so the JitCodeAuditor (src/analysis) and tests can inspect
+/// the exact bytes that would run.
+struct JitArtifact {
+  std::vector<uint8_t> code;
+  std::vector<size_t> entries;  ///< One per tree, ascending, [0] == 0.
+  int num_features = 0;
+};
+
+/// Emits (but does not map or run) x86-64 code for `forest`. Fails on a
+/// structurally invalid forest and on non-x86-64 builds.
+Result<JitArtifact> EmitForestCode(const Forest& forest);
+
+/// Knobs for CompiledForest::Compile.
+struct JitCompileOptions {
+  /// Run the JitCodeAuditor over the emitted bytes before mapping them
+  /// executable; Compile fails with InternalError when the audit finds an
+  /// Error. On by default in debug builds; release callers opt in (the
+  /// audit is a few linear passes over the code — cheap, but not free on
+  /// the model-reload path).
+#ifdef NDEBUG
+  bool audit = false;
+#else
+  bool audit = true;
+#endif
+};
+
 /// A forest compiled to native x86-64 machine code, the paper's core
 /// latency optimization (Tables 1-2, Figure 5): each inner node becomes a
 /// compare + conditional branch, each leaf a return — the same scheme as
@@ -29,7 +57,8 @@ namespace t3 {
 ///  - a structurally invalid forest.
 class CompiledForest : public ForestEvaluator {
  public:
-  static Result<std::unique_ptr<CompiledForest>> Compile(const Forest& forest);
+  static Result<std::unique_ptr<CompiledForest>> Compile(
+      const Forest& forest, const JitCompileOptions& options = {});
 
   ~CompiledForest() override;
   CompiledForest(const CompiledForest&) = delete;

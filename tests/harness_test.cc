@@ -92,6 +92,76 @@ TEST(CorpusTest, RejectsMalformedHeader) {
   EXPECT_FALSE(ParseCorpus("bogus v1\nrecords 0\n").ok());
 }
 
+// A minimal valid one-record corpus used as the starting point for the
+// corruption tests below.
+std::string TinyCorpusText() {
+  return "t3corpus v1\nrecords 1\n"
+         "R tpch_sf0 0 0 3 0 1 2 1 0.5\n"
+         "N 4 -1 -1 100 0 8 0\n"
+         "T 0.5 0.6\n"
+         "P 0 0.25 0.2 0.3\n"
+         "FT 0 100 4 2 0:1.5 2:7\n"
+         "FE 0 90 4 1 1:2.5\n";
+}
+
+TEST(CorpusTest, TinyCorpusRoundTrips) {
+  Result<Corpus> corpus = ParseCorpus(TinyCorpusText());
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  ASSERT_EQ(corpus->records.size(), 1u);
+  EXPECT_EQ(corpus->records[0].feat_true[0].values[2], 7.0);
+  EXPECT_TRUE(ParseCorpus(CorpusToText(*corpus)).ok());
+}
+
+TEST(CorpusTest, TruncatedCorpusIsAnErrorNotACrash) {
+  const std::string full = TinyCorpusText();
+  // Every prefix cut before the final token must fail with a Status (a cut
+  // *inside* the final number is indistinguishable from a shorter value,
+  // so the detectable range ends at the last token's first byte).
+  const size_t last_token = full.find_last_of(' ') + 1;
+  for (size_t cut = 0; cut <= last_token; cut += 3) {
+    Result<Corpus> corpus = ParseCorpus(full.substr(0, cut));
+    EXPECT_FALSE(corpus.ok()) << "prefix of " << cut << " bytes parsed";
+    EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CorpusTest, RejectsTrailingGarbage) {
+  Result<Corpus> corpus = ParseCorpus(TinyCorpusText() + "R leftover\n");
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(CorpusTest, RejectsNonNumericFields) {
+  // Non-numeric run time on the T line.
+  std::string bad = TinyCorpusText();
+  const size_t t_pos = bad.find("T 0.5 0.6");
+  ASSERT_NE(t_pos, std::string::npos);
+  bad.replace(t_pos, 9, "T 0.5 abc");
+  Result<Corpus> corpus = ParseCorpus(bad);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().message().find("T line"), std::string::npos);
+}
+
+TEST(CorpusTest, RejectsSparseFeatureIndexBeyondDimension) {
+  // "2:7" claims index 2 of a dim-4 vector; "9:7" is out of range.
+  std::string bad = TinyCorpusText();
+  const size_t pos = bad.find("2:7");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 3, "9:7");
+  Result<Corpus> corpus = ParseCorpus(bad);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().message().find("sparse"), std::string::npos);
+}
+
+TEST(CorpusTest, RejectsNegativeCountsInRecordHeader) {
+  // Pipeline count -1 in the R line.
+  std::string bad = TinyCorpusText();
+  const size_t pos = bad.find("0 1 2 1 0.5");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 11, "0 -1 2 1 0.5");
+  EXPECT_FALSE(ParseCorpus(bad).ok());
+}
+
 TEST(EvaluateTest, QErrorIsSymmetricRatio) {
   EXPECT_DOUBLE_EQ(QError(2.0, 1.0), 2.0);
   EXPECT_DOUBLE_EQ(QError(1.0, 2.0), 2.0);

@@ -1,0 +1,94 @@
+// t3_lint — static verifier driver for T3 model files.
+//
+//   t3_lint [--strict] <model.txt>...
+//
+// Runs the full analysis stack over each file: parse (without the loader's
+// early-reject gate, so every finding is reported), ForestVerifier over the
+// forest IR, and — where the build can emit x86-64 — JitCodeAuditor over
+// the exact bytes the tree JIT would map executable. Prints one diagnostic
+// per line and a per-file summary.
+//
+// Exit status: 0 clean, 1 any Error-severity finding (or any finding with
+// --strict), 2 usage / unreadable file. CI runs this over the checked-in
+// data/model_*.txt fixtures so fixture corruption fails the build.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/forest_verifier.h"
+#include "analysis/jit_auditor.h"
+#include "gbt/forest.h"
+#include "treejit/jit.h"
+
+namespace {
+
+int LintFile(const std::string& path, bool strict) {
+  t3::Result<std::string> content = t3::ReadFileToString(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 content.status().ToString().c_str());
+    return 2;
+  }
+  t3::Result<t3::Forest> forest = t3::Forest::ParseTextUnvalidated(*content);
+  if (!forest.ok()) {
+    std::printf("%s: error[parse]: %s\n", path.c_str(),
+                forest.status().message().c_str());
+    return 1;
+  }
+
+  t3::AnalysisReport report = t3::ForestVerifier().Verify(*forest);
+  const bool jit_audited = t3::JitSupported() && !report.HasErrors();
+  if (jit_audited) {
+    // Only audit code emitted from a verified forest: the emitter's own
+    // preconditions are exactly the verifier's Error checks.
+    t3::Result<t3::JitArtifact> artifact = t3::EmitForestCode(*forest);
+    if (!artifact.ok()) {
+      std::printf("%s: error[jit-emit]: %s\n", path.c_str(),
+                  artifact.status().message().c_str());
+      return 1;
+    }
+    report.Merge(t3::JitCodeAuditor().Audit(artifact->code.data(),
+                                            artifact->code.size(),
+                                            artifact->entries,
+                                            artifact->num_features));
+  }
+
+  for (const t3::Diagnostic& diagnostic : report.diagnostics()) {
+    std::printf("%s: %s\n", path.c_str(), diagnostic.ToString().c_str());
+  }
+  std::printf("%s: %zu trees, %zu nodes, %d features%s: %zu errors, "
+              "%zu warnings\n",
+              path.c_str(), forest->trees.size(), forest->NumNodes(),
+              forest->num_features,
+              jit_audited ? ", jit audited" : ", jit not audited",
+              report.NumErrors(), report.NumWarnings());
+  if (report.HasErrors()) return 1;
+  if (strict && !report.empty()) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: t3_lint [--strict] <model.txt>...\n");
+    return 2;
+  }
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    const int result = LintFile(path, strict);
+    if (result > exit_code) exit_code = result;
+  }
+  return exit_code;
+}
