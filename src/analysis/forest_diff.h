@@ -1,0 +1,44 @@
+#ifndef T3_ANALYSIS_FOREST_DIFF_H_
+#define T3_ANALYSIS_FOREST_DIFF_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "gbt/forest.h"
+
+namespace t3 {
+
+/// Static bounds on a(x) - b(x) over the entire feature space (NaN inputs
+/// included): a(x) - b(x) is in [min, max] for every row x.
+struct ForestDiffBounds {
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Bound on max |a(x) - b(x)|. Zero iff the two forests are proven to
+  /// agree everywhere.
+  double MaxAbs() const { return std::max(std::abs(min), std::abs(max)); }
+};
+
+/// Statically bounds the output divergence between two forests on the same
+/// feature space — the retraining-drift check for the harness's model
+/// cache: how far can predictions move if a cached model is replaced by a
+/// retrained one, over *every* possible input, not a sample.
+///
+/// Built on the interval machinery of the translation validator
+/// (analysis/interval_domain.h). Trees are paired by index; for each pair
+/// the divergence range is computed *exactly* by intersecting every leaf
+/// cell of a's tree with the cells of b's tree (axis-aligned splits make
+/// every intersection an exact box, including NaN routing). Unpaired
+/// trailing trees contribute their reachable-leaf value range. The per-pair
+/// ranges are summed, so the overall bound is sound (max of a sum never
+/// exceeds the sum of maxima) and tight exactly when per-tree worst cases
+/// can co-occur; bit-identical forests yield exactly [0, 0].
+///
+/// Fails with InvalidArgument when either forest fails Forest::Validate or
+/// the feature counts differ.
+Result<ForestDiffBounds> ForestDiff(const Forest& a, const Forest& b);
+
+}  // namespace t3
+
+#endif  // T3_ANALYSIS_FOREST_DIFF_H_

@@ -6,93 +6,6 @@
 #include "common/string_util.h"
 
 namespace t3 {
-namespace {
-
-bool Match(const uint8_t* code, size_t size, size_t offset,
-           std::initializer_list<uint8_t> bytes) {
-  if (size - offset < bytes.size()) return false;
-  size_t i = offset;
-  for (const uint8_t b : bytes) {
-    if (code[i++] != b) return false;
-  }
-  return true;
-}
-
-uint32_t Read32(const uint8_t* code, size_t offset) {
-  return static_cast<uint32_t>(code[offset]) |
-         static_cast<uint32_t>(code[offset + 1]) << 8 |
-         static_cast<uint32_t>(code[offset + 2]) << 16 |
-         static_cast<uint32_t>(code[offset + 3]) << 24;
-}
-
-}  // namespace
-
-bool JitCodeAuditor::DecodeOne(const uint8_t* code, size_t size,
-                               size_t offset, JitInstruction* out) {
-  out->offset = offset;
-  out->target = 0;
-  out->disp = 0;
-  if (Match(code, size, offset, {0xC3})) {
-    out->op = JitOp::kRet;
-    out->length = 1;
-    return true;
-  }
-  if (Match(code, size, offset, {0x48, 0xB8})) {
-    if (size - offset < 10) return false;
-    out->op = JitOp::kMovRaxImm64;
-    out->length = 10;
-    return true;
-  }
-  if (Match(code, size, offset, {0x66, 0x48, 0x0F, 0x6E, 0xC0})) {
-    out->op = JitOp::kMovqXmm0Rax;
-    out->length = 5;
-    return true;
-  }
-  if (Match(code, size, offset, {0x66, 0x48, 0x0F, 0x6E, 0xC8})) {
-    out->op = JitOp::kMovqXmm1Rax;
-    out->length = 5;
-    return true;
-  }
-  if (Match(code, size, offset, {0xF2, 0x0F, 0x10, 0x47})) {
-    if (size - offset < 5) return false;
-    out->op = JitOp::kLoadFeature8;
-    out->length = 5;
-    out->disp = code[offset + 4];
-    return true;
-  }
-  if (Match(code, size, offset, {0xF2, 0x0F, 0x10, 0x87})) {
-    if (size - offset < 8) return false;
-    out->op = JitOp::kLoadFeature32;
-    out->length = 8;
-    out->disp = Read32(code, offset + 4);
-    return true;
-  }
-  if (Match(code, size, offset, {0x66, 0x0F, 0x2E, 0xC8})) {
-    out->op = JitOp::kUcomisdXmm1Xmm0;
-    out->length = 4;
-    return true;
-  }
-  if (Match(code, size, offset, {0x66, 0x0F, 0x2E, 0xC1})) {
-    out->op = JitOp::kUcomisdXmm0Xmm1;
-    out->length = 4;
-    return true;
-  }
-  if (Match(code, size, offset, {0x0F, 0x87}) ||
-      Match(code, size, offset, {0x0F, 0x82})) {
-    if (size - offset < 6) return false;
-    out->op = code[offset + 1] == 0x87 ? JitOp::kJa : JitOp::kJb;
-    out->length = 6;
-    const int32_t rel = static_cast<int32_t>(Read32(code, offset + 2));
-    // Target relative to the end of the instruction; computed in signed
-    // 64-bit so a wild rel32 cannot wrap back into the buffer.
-    const int64_t target = static_cast<int64_t>(offset) + 6 + rel;
-    // A negative target is clamped past the buffer so every later
-    // range check fails it.
-    out->target = target < 0 ? size + 1 : static_cast<size_t>(target);
-    return true;
-  }
-  return false;
-}
 
 AnalysisReport JitCodeAuditor::Audit(const uint8_t* code, size_t size,
                                      const std::vector<size_t>& entries,
@@ -128,25 +41,19 @@ AnalysisReport JitCodeAuditor::Audit(const uint8_t* code, size_t size,
     return region + 1 < entries.size() ? entries[region + 1] : size;
   };
 
-  // Pass 1: linear decode. Instruction boundaries double as the branch
-  // target whitelist.
-  std::map<size_t, JitInstruction> instructions;
-  size_t offset = 0;
-  while (offset < size) {
-    JitInstruction instruction;
-    if (!DecodeOne(code, size, offset, &instruction)) {
-      report.Add(Severity::kError,
-                 size - offset < 10 ? "truncated-instruction"
-                                    : "unknown-opcode",
-                 static_cast<int>(region_of(offset)),
-                 static_cast<int>(offset),
-                 StrFormat("byte 0x%02X is not in the emitter whitelist",
-                           code[offset]));
-      return report;  // Byte stream is desynchronized; nothing more to say.
-    }
-    instructions[offset] = instruction;
-    offset += instruction.length;
+  // Pass 1: linear decode (shared decoder). Instruction boundaries double
+  // as the branch target whitelist.
+  const DecodedCode decoded = DecodeLinear(code, size);
+  if (!decoded.ok) {
+    const size_t at = decoded.error_offset;
+    report.Add(Severity::kError,
+               size - at < 10 ? "truncated-instruction" : "unknown-opcode",
+               static_cast<int>(region_of(at)), static_cast<int>(at),
+               StrFormat("byte 0x%02X is not in the emitter whitelist",
+                         code[at]));
+    return report;  // Byte stream is desynchronized; nothing more to say.
   }
+  const std::map<size_t, JitInstruction>& instructions = decoded.instructions;
 
   // Every entry must land on an instruction boundary (pass 1 started at
   // entries[0] == 0, so interior entries could still fall mid-instruction
@@ -201,7 +108,7 @@ AnalysisReport JitCodeAuditor::Audit(const uint8_t* code, size_t size,
       work.pop_back();
       if (reachable[at]) continue;
       reachable[at] = 1;
-      const JitInstruction& instruction = instructions[at];
+      const JitInstruction& instruction = instructions.at(at);
       if (instruction.op == JitOp::kRet) continue;
       if (instruction.op == JitOp::kJa || instruction.op == JitOp::kJb) {
         work.push_back(instruction.target);

@@ -6,38 +6,16 @@
 #include <vector>
 
 #include "analysis/report.h"
+#include "analysis/x86_decoder.h"
 
 namespace t3 {
-
-/// The instruction vocabulary TreeJit emits — nothing else may appear in an
-/// audited buffer. Exposed for tests and for the disassembly listing.
-enum class JitOp {
-  kMovRaxImm64,     ///< 48 B8 imm64            mov rax, <bits>
-  kMovqXmm0Rax,     ///< 66 48 0F 6E C0         movq xmm0, rax
-  kMovqXmm1Rax,     ///< 66 48 0F 6E C8         movq xmm1, rax
-  kLoadFeature8,    ///< F2 0F 10 47 disp8      movsd xmm0, [rdi + disp8]
-  kLoadFeature32,   ///< F2 0F 10 87 disp32     movsd xmm0, [rdi + disp32]
-  kUcomisdXmm1Xmm0, ///< 66 0F 2E C8            ucomisd xmm1, xmm0
-  kUcomisdXmm0Xmm1, ///< 66 0F 2E C1            ucomisd xmm0, xmm1
-  kJa,              ///< 0F 87 rel32            ja <target>
-  kJb,              ///< 0F 82 rel32            jb <target>
-  kRet,             ///< C3                     ret
-};
-
-/// One decoded instruction of an audited buffer.
-struct JitInstruction {
-  JitOp op;
-  size_t offset = 0;      ///< Byte offset in the code buffer.
-  size_t length = 0;      ///< Encoded length in bytes.
-  size_t target = 0;      ///< Branch destination (kJa / kJb only).
-  uint32_t disp = 0;      ///< Feature-load displacement (kLoadFeature*).
-};
 
 /// Static auditor over the raw bytes TreeJit emitted — the machine-code
 /// half of the compiled-tree trust story. The forest IR was already
 /// verified (ForestVerifier); this pass proves the *emission* did not break
-/// anything, by linearly decoding the buffer with a whitelist-only x86-64
-/// decoder and checking, per tree function region [entries[i], entries[i+1]):
+/// anything, by linearly decoding the buffer with the shared whitelist-only
+/// x86-64 decoder (analysis/x86_decoder.h) and checking, per tree function
+/// region [entries[i], entries[i+1]):
 ///
 ///  - `unknown-opcode` / `truncated-instruction` (Error): every byte of the
 ///    buffer belongs to exactly one whitelisted instruction.
@@ -55,6 +33,11 @@ struct JitInstruction {
 ///    region entry — a dead ret means the emitter's layout logic broke.
 ///  - `unreachable-code` (Warning): any other unreachable instruction.
 ///
+/// The auditor proves memory safety and control-flow containment; it says
+/// nothing about *what* the code computes. That is the TranslationValidator's
+/// job (analysis/translation_validator.h), which lifts the same decoded
+/// stream back into decision trees and proves them equivalent to the IR.
+///
 /// The auditor is pure byte inspection: it runs on any host (including
 /// non-x86-64 builds, where it still audits serialized buffers in tests).
 class JitCodeAuditor {
@@ -64,12 +47,6 @@ class JitCodeAuditor {
   AnalysisReport Audit(const uint8_t* code, size_t size,
                        const std::vector<size_t>& entries,
                        int num_features) const;
-
-  /// Decodes one instruction at `offset`; false (and a diagnostic appended
-  /// by Audit) when the bytes match nothing in the whitelist. Exposed for
-  /// the auditor's own tests.
-  static bool DecodeOne(const uint8_t* code, size_t size, size_t offset,
-                        JitInstruction* out);
 };
 
 }  // namespace t3

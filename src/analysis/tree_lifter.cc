@@ -1,0 +1,203 @@
+#include "analysis/tree_lifter.h"
+
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+/// The instruction starting exactly at `offset`, or nullptr when `offset`
+/// is past `end` or not an instruction boundary.
+const JitInstruction* At(const std::map<size_t, JitInstruction>& instructions,
+                         size_t offset, size_t end) {
+  if (offset >= end) return nullptr;
+  const auto it = instructions.find(offset);
+  return it == instructions.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+bool TreeLifter::LiftTree(
+    const std::map<size_t, JitInstruction>& instructions, size_t begin,
+    size_t end, int tree_index, LiftedTree* out,
+    AnalysisReport* report) const {
+  out->nodes.clear();
+  const auto fail = [&](size_t offset, const std::string& message) {
+    report->Add(Severity::kError, "unliftable-code", tree_index,
+                static_cast<int>(offset), message);
+    return false;
+  };
+
+  // Pass 1: group the region's instructions into node shapes, front to
+  // back. Every node starts with `mov rax, imm64`; the following
+  // instruction discriminates leaf from inner node.
+  std::map<size_t, int> node_at;     // Group start offset -> node index.
+  std::vector<size_t> jump_targets;  // Per inner node.
+  std::vector<size_t> fall_offsets;  // Per inner node.
+  size_t at = begin;
+  while (at < end) {
+    const JitInstruction* head = At(instructions, at, end);
+    if (head == nullptr) {
+      return fail(at, "node start is not an instruction boundary");
+    }
+    if (head->op != JitOp::kMovRaxImm64) {
+      return fail(at, "node does not start with mov rax, imm64");
+    }
+    LiftedNode node;
+    node.offset = at;
+    const JitInstruction* select = At(instructions, at + head->length, end);
+    if (select == nullptr) {
+      return fail(at, "truncated node after mov rax, imm64");
+    }
+    if (select->op == JitOp::kMovqXmm0Rax) {
+      // Leaf: mov rax, value; movq xmm0, rax; ret.
+      const JitInstruction* ret =
+          At(instructions, select->offset + select->length, end);
+      if (ret == nullptr || ret->op != JitOp::kRet) {
+        return fail(at, "leaf shape not closed by ret");
+      }
+      node.is_leaf = true;
+      node.value_bits = head->imm;
+      at = ret->offset + ret->length;
+    } else if (select->op == JitOp::kMovqXmm1Rax) {
+      // Inner: mov rax, threshold; movq xmm1, rax; movsd xmm0, [rdi+8k];
+      // ucomisd; jcc.
+      const JitInstruction* load =
+          At(instructions, select->offset + select->length, end);
+      if (load == nullptr || (load->op != JitOp::kLoadFeature8 &&
+                              load->op != JitOp::kLoadFeature32)) {
+        return fail(at, "inner node missing its feature load");
+      }
+      if (load->disp % 8 != 0) {
+        return fail(load->offset,
+                    StrFormat("feature load displacement %u not 8-byte "
+                              "aligned",
+                              load->disp));
+      }
+      const JitInstruction* compare =
+          At(instructions, load->offset + load->length, end);
+      if (compare == nullptr || (compare->op != JitOp::kUcomisdXmm1Xmm0 &&
+                                 compare->op != JitOp::kUcomisdXmm0Xmm1)) {
+        return fail(at, "inner node missing its ucomisd");
+      }
+      const JitInstruction* branch =
+          At(instructions, compare->offset + compare->length, end);
+      if (branch == nullptr ||
+          (branch->op != JitOp::kJa && branch->op != JitOp::kJb)) {
+        return fail(at, "inner node missing its conditional branch");
+      }
+      // The four ucomisd/jcc combinations, lifted to exact semantics (see
+      // LiftedNode). ucomisd a, b + ja is taken iff a > b ordered;
+      // + jb iff a < b *or* unordered (unordered sets ZF = PF = CF = 1).
+      const bool threshold_first = compare->op == JitOp::kUcomisdXmm1Xmm0;
+      const bool jump_above = branch->op == JitOp::kJa;
+      node.is_leaf = false;
+      node.threshold_bits = head->imm;
+      node.feature = static_cast<int>(load->disp / 8);
+      node.cmp = threshold_first == jump_above ? LiftedNode::Cmp::kLt
+                                               : LiftedNode::Cmp::kGt;
+      node.nan_jumps = !jump_above;
+      jump_targets.push_back(branch->target);
+      fall_offsets.push_back(branch->offset + branch->length);
+      at = branch->offset + branch->length;
+    } else {
+      return fail(at, "mov rax, imm64 followed by neither movq form");
+    }
+    node_at[node.offset] = static_cast<int>(out->nodes.size());
+    out->nodes.push_back(node);
+  }
+  if (out->nodes.empty()) {
+    return fail(begin, "empty tree region");
+  }
+
+  // Pass 2: link children. Fallthroughs point at the next group by
+  // construction unless the region's last node is an inner node; jump
+  // targets must land on a lifted node boundary (an instruction boundary is
+  // not enough — jumping into the middle of a node's compare sequence has
+  // no tree meaning).
+  size_t inner = 0;
+  for (LiftedNode& node : out->nodes) {
+    if (node.is_leaf) continue;
+    const size_t target = jump_targets[inner];
+    const size_t fall = fall_offsets[inner];
+    ++inner;
+    const auto jump_it = node_at.find(target);
+    if (jump_it == node_at.end()) {
+      return fail(node.offset,
+                  StrFormat("branch to offset %zu, which is not a lifted "
+                            "node boundary",
+                            target));
+    }
+    node.jump_child = jump_it->second;
+    const auto fall_it = node_at.find(fall);
+    if (fall_it == node_at.end()) {
+      return fail(node.offset,
+                  "inner node falls through past the end of its region");
+    }
+    node.fall_child = fall_it->second;
+  }
+
+  // Pass 3: the lifted graph must be acyclic — cyclic machine code can
+  // loop forever, which no decision tree does. Iterative DFS, colors:
+  // 0 = unvisited, 1 = on the current path, 2 = done.
+  std::vector<char> color(out->nodes.size(), 0);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int index = stack.back();
+    const LiftedNode& node = out->nodes[static_cast<size_t>(index)];
+    if (color[static_cast<size_t>(index)] == 0) {
+      color[static_cast<size_t>(index)] = 1;
+      if (!node.is_leaf) {
+        for (const int child : {node.jump_child, node.fall_child}) {
+          if (color[static_cast<size_t>(child)] == 1) {
+            report->Add(Severity::kError, "lifted-cycle", tree_index,
+                        static_cast<int>(node.offset),
+                        "branch creates a control-flow cycle");
+            return false;
+          }
+          if (color[static_cast<size_t>(child)] == 0) stack.push_back(child);
+        }
+      }
+    } else {
+      if (color[static_cast<size_t>(index)] == 1) {
+        color[static_cast<size_t>(index)] = 2;
+      }
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
+void TreeLifter::LiftForest(const uint8_t* code, size_t size,
+                            const std::vector<size_t>& entries,
+                            std::vector<LiftedTree>* out,
+                            AnalysisReport* report) const {
+  out->clear();
+  const DecodedCode decoded = DecodeLinear(code, size);
+  if (!decoded.ok) {
+    report->Add(Severity::kError, "undecodable-code", -1,
+                static_cast<int>(decoded.error_offset),
+                StrFormat("byte 0x%02X at offset %zu is not in the emitter "
+                          "whitelist",
+                          code[decoded.error_offset], decoded.error_offset));
+    return;
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const size_t begin = entries[i];
+    const size_t end = i + 1 < entries.size() ? entries[i + 1] : size;
+    if (begin >= end || end > size) {
+      report->Add(Severity::kError, "unliftable-code", static_cast<int>(i),
+                  static_cast<int>(begin),
+                  StrFormat("region [%zu, %zu) is empty or out of bounds",
+                            begin, end));
+      return;
+    }
+    LiftedTree tree;
+    if (!LiftTree(decoded.instructions, begin, end, static_cast<int>(i),
+                  &tree, report)) {
+      return;
+    }
+    out->push_back(std::move(tree));
+  }
+}
+
+}  // namespace t3

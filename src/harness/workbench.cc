@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/forest_diff.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "gbt/trainer.h"
@@ -102,6 +103,31 @@ const T3Model& Workbench::MainModel() {
   if (!saved.ok()) {
     std::fprintf(stderr, "Workbench: cannot cache model: %s\n",
                  saved.ToString().c_str());
+    return *main_model_;
+  }
+
+  // Drift check on the cache we just wrote: reload it and statically bound
+  // max |trained(x) - cached(x)| over the whole feature space. The text
+  // serializer is bit-exact, so the proven bound must be exactly zero — a
+  // nonzero bound means future runs would silently benchmark a model that
+  // diverges from the one just trained.
+  Result<T3Model> reread = T3Model::LoadFromFile(cache_path);
+  if (!reread.ok()) {
+    std::fprintf(stderr, "Workbench: cannot reread cached model: %s\n",
+                 reread.status().ToString().c_str());
+    return *main_model_;
+  }
+  Result<ForestDiffBounds> drift =
+      ForestDiff(main_model_->forest(), reread->forest());
+  if (!drift.ok()) {
+    std::fprintf(stderr, "Workbench: cache drift check failed: %s\n",
+                 drift.status().ToString().c_str());
+  } else if (drift->MaxAbs() != 0.0) {
+    std::fprintf(stderr,
+                 "Workbench: WARNING: cached model drifts from the trained "
+                 "one by up to %.17g over the input space; delete %s to "
+                 "retrain.\n",
+                 drift->MaxAbs(), cache_path.c_str());
   }
   return *main_model_;
 }

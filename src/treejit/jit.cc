@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "analysis/jit_auditor.h"
+#include "analysis/translation_validator.h"
 #include "common/string_util.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -213,6 +214,22 @@ Result<std::unique_ptr<CompiledForest>> CompiledForest::Compile(
       return InternalError(
           StrFormat("JIT audit rejected emitted code: %s",
                     report.ToStatus().message().c_str()));
+    }
+  }
+
+  if (options.validate_translation) {
+    // Static equivalence proof over the same bytes: lift the emitted code
+    // back into decision trees and show they compute exactly `forest`
+    // (bit-equal thresholds/leaves, identical NaN routing, pointwise-equal
+    // outputs over every threshold-induced cell). A failure is an emitter
+    // bug — the forest itself was already validated.
+    const AnalysisReport equivalence = TranslationValidator().Validate(
+        forest, artifact->code.data(), artifact->code.size(),
+        artifact->entries);
+    if (equivalence.HasErrors()) {
+      return InternalError(
+          StrFormat("translation validation rejected emitted code: %s",
+                    equivalence.ToStatus().message().c_str()));
     }
   }
 

@@ -36,6 +36,17 @@ struct JitCompileOptions {
 #else
   bool audit = true;
 #endif
+  /// Run the TranslationValidator over the emitted bytes: lift them back
+  /// into decision trees and prove structural + semantic equivalence to the
+  /// source forest (see analysis/translation_validator.h). Compile fails
+  /// with InternalError on any inequivalence. On by default in debug
+  /// builds; release callers opt in (cost is roughly one interval walk per
+  /// leaf — heavier than the audit, still well under a model load).
+#ifdef NDEBUG
+  bool validate_translation = false;
+#else
+  bool validate_translation = true;
+#endif
 };
 
 /// A forest compiled to native x86-64 machine code, the paper's core

@@ -417,9 +417,9 @@ TEST(JitCodeAuditorTest, DecodesEveryEmittedOpcode) {
   size_t offset = 0;
   while (offset < artifact->code.size()) {
     JitInstruction instruction;
-    ASSERT_TRUE(JitCodeAuditor::DecodeOne(artifact->code.data(),
-                                          artifact->code.size(), offset,
-                                          &instruction))
+    ASSERT_TRUE(DecodeInstruction(artifact->code.data(),
+                                  artifact->code.size(), offset,
+                                  &instruction))
         << "undecodable at offset " << offset;
     saw[static_cast<int>(instruction.op)] = true;
     offset += instruction.length;
@@ -459,9 +459,8 @@ class JitCodeAuditorCorruptionTest : public ::testing::Test {
     size_t offset = 0;
     JitInstruction instruction;
     while (offset < artifact_.code.size() &&
-           JitCodeAuditor::DecodeOne(artifact_.code.data(),
-                                     artifact_.code.size(), offset,
-                                     &instruction)) {
+           DecodeInstruction(artifact_.code.data(), artifact_.code.size(),
+                             offset, &instruction)) {
       if (instruction.op == op) return offset;
       offset += instruction.length;
     }

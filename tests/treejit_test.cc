@@ -108,6 +108,68 @@ TEST(EvaluatorAgreementTest, AllEvaluatorsBitExactOnRandomForests) {
   }
 }
 
+// NaN-heavy trifecta: node interpreter vs flat interpreter vs JIT stay
+// bit-identical as the NaN density of the input sweeps from none to every
+// feature, with ±inf inputs mixed in and denormal thresholds in the trees —
+// the corners where ucomisd's unordered results and strict-< routing are
+// easiest to get subtly wrong.
+TEST(EvaluatorAgreementTest, NanHeavyTrifectaAcrossNanFractions) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+  Rng rng(777);
+  for (const double nan_fraction : {0.0, 0.25, 0.75, 1.0}) {
+    for (int trial = 0; trial < 15; ++trial) {
+      const int num_features = 1 + static_cast<int>(rng.UniformInt(0, 5));
+      Forest forest = MakeRandomForest(
+          &rng, num_features, 1 + static_cast<int>(rng.UniformInt(0, 4)),
+          1 + static_cast<int>(rng.UniformInt(0, 4)));
+      // Sprinkle denormal thresholds over the grid ones.
+      for (Tree& tree : forest.trees) {
+        for (TreeNode& node : tree.nodes) {
+          if (!node.is_leaf && rng.Bernoulli(0.3)) {
+            node.threshold = kDenorm *
+                             static_cast<double>(rng.UniformInt(1, 4)) *
+                             (rng.Bernoulli(0.5) ? -1.0 : 1.0);
+          }
+        }
+      }
+      ASSERT_TRUE(forest.Validate().ok());
+
+      const InterpretedEvaluator interpreted(forest);
+      const FlatEvaluator flat(forest);
+      Result<std::unique_ptr<CompiledForest>> compiled =
+          CompiledForest::Compile(forest);
+      if (JitSupported()) {
+        ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      }
+
+      std::vector<double> row(static_cast<size_t>(num_features));
+      for (int r = 0; r < 40; ++r) {
+        for (double& v : row) {
+          if (rng.Bernoulli(nan_fraction)) {
+            v = std::numeric_limits<double>::quiet_NaN();
+          } else if (rng.Bernoulli(0.2)) {
+            v = rng.Bernoulli(0.5) ? kInf : -kInf;
+          } else if (rng.Bernoulli(0.2)) {
+            v = kDenorm * static_cast<double>(rng.UniformInt(-4, 4));
+          } else {
+            v = 0.25 * static_cast<double>(rng.UniformInt(-8, 8));
+          }
+        }
+        const double reference = interpreted.Predict(row.data());
+        ASSERT_EQ(flat.Predict(row.data()), reference)
+            << "flat disagrees, nan_fraction " << nan_fraction << " trial "
+            << trial << " row " << r;
+        if (compiled.ok()) {
+          ASSERT_EQ((*compiled)->Predict(row.data()), reference)
+              << "JIT disagrees, nan_fraction " << nan_fraction << " trial "
+              << trial << " row " << r;
+        }
+      }
+    }
+  }
+}
+
 TEST(EvaluatorAgreementTest, ThresholdBoundaryGoesRight) {
   // x == threshold must take the right branch (predicate is strict <) in
   // every evaluator.

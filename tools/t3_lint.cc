@@ -1,16 +1,32 @@
 // t3_lint — static verifier driver for T3 model files.
 //
-//   t3_lint [--strict] <model.txt>...
+//   t3_lint [--strict] [--json] <model.txt>...
 //
-// Runs the full analysis stack over each file: parse (without the loader's
-// early-reject gate, so every finding is reported), ForestVerifier over the
-// forest IR, and — where the build can emit x86-64 — JitCodeAuditor over
-// the exact bytes the tree JIT would map executable. Prints one diagnostic
-// per line and a per-file summary.
+// Runs the full analysis stack over each file:
 //
-// Exit status: 0 clean, 1 any Error-severity finding (or any finding with
-// --strict), 2 usage / unreadable file. CI runs this over the checked-in
-// data/model_*.txt fixtures so fixture corruption fails the build.
+//   1. parse                  — ParseTextUnvalidated (no early-reject gate,
+//                               so every finding is reported),
+//   2. forest-verifier        — ForestVerifier over the forest IR,
+//   3. jit-audit              — JitCodeAuditor over the exact bytes the
+//                               tree JIT would map executable,
+//   4. translation-validation — TranslationValidator: lift the emitted code
+//                               back into decision trees and prove it
+//                               computes the forest (bit-equal constants,
+//                               identical NaN routing, equal outputs over
+//                               every threshold-induced input cell).
+//
+// Passes 3-4 need the x86-64 emitter and run only when the forest IR is
+// error-free (the emitter's preconditions are exactly the verifier's Error
+// checks); they are reported as "skipped" otherwise.
+//
+// Exit status (what CI gates on — machine-checkable, no stdout grepping):
+//   0  every file clean,
+//   1  warnings only,
+//   2  any Error finding, unreadable file, or usage error.
+// --strict promotes warnings to exit 2.
+//
+// --json replaces the human-readable report with one JSON document on
+// stdout: per-file pass outcomes and diagnostics plus aggregate counts.
 
 #include <cstdio>
 #include <cstring>
@@ -19,76 +35,252 @@
 
 #include "analysis/forest_verifier.h"
 #include "analysis/jit_auditor.h"
+#include "analysis/translation_validator.h"
 #include "gbt/forest.h"
 #include "treejit/jit.h"
 
 namespace {
 
-int LintFile(const std::string& path, bool strict) {
+/// Outcome of one analysis pass over one file.
+enum class PassState { kOk, kFailed, kSkipped };
+
+const char* PassStateName(PassState state) {
+  switch (state) {
+    case PassState::kOk:
+      return "ok";
+    case PassState::kFailed:
+      return "failed";
+    case PassState::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+struct PassResult {
+  const char* name;
+  PassState state = PassState::kSkipped;
+};
+
+/// Everything the linter learned about one file; rendered as text or JSON.
+struct FileResult {
+  std::string path;
+  std::vector<PassResult> passes;
+  t3::AnalysisReport report;
+  bool unreadable = false;
+  std::string unreadable_message;
+  size_t trees = 0;
+  size_t nodes = 0;
+  int features = 0;
+
+  /// 0 clean / 1 warnings / 2 errors, before --strict promotion.
+  int ExitCode() const {
+    if (unreadable || report.HasErrors()) return 2;
+    if (report.NumWarnings() > 0) return 1;
+    return 0;
+  }
+};
+
+FileResult LintFile(const std::string& path) {
+  FileResult result;
+  result.path = path;
+  result.passes = {{"parse"},
+                   {"forest-verifier"},
+                   {"jit-audit"},
+                   {"translation-validation"}};
+  PassResult& parse = result.passes[0];
+  PassResult& verify = result.passes[1];
+  PassResult& audit = result.passes[2];
+  PassResult& translate = result.passes[3];
+
   t3::Result<std::string> content = t3::ReadFileToString(path);
   if (!content.ok()) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                 content.status().ToString().c_str());
-    return 2;
+    result.unreadable = true;
+    result.unreadable_message = content.status().ToString();
+    parse.state = PassState::kFailed;
+    return result;
   }
   t3::Result<t3::Forest> forest = t3::Forest::ParseTextUnvalidated(*content);
   if (!forest.ok()) {
-    std::printf("%s: error[parse]: %s\n", path.c_str(),
-                forest.status().message().c_str());
-    return 1;
+    parse.state = PassState::kFailed;
+    result.report.Add(t3::Severity::kError, "parse", -1, -1,
+                      forest.status().message());
+    return result;
   }
+  parse.state = PassState::kOk;
+  result.trees = forest->trees.size();
+  result.nodes = forest->NumNodes();
+  result.features = forest->num_features;
 
-  t3::AnalysisReport report = t3::ForestVerifier().Verify(*forest);
-  const bool jit_audited = t3::JitSupported() && !report.HasErrors();
-  if (jit_audited) {
-    // Only audit code emitted from a verified forest: the emitter's own
-    // preconditions are exactly the verifier's Error checks.
-    t3::Result<t3::JitArtifact> artifact = t3::EmitForestCode(*forest);
-    if (!artifact.ok()) {
-      std::printf("%s: error[jit-emit]: %s\n", path.c_str(),
-                  artifact.status().message().c_str());
-      return 1;
-    }
-    report.Merge(t3::JitCodeAuditor().Audit(artifact->code.data(),
-                                            artifact->code.size(),
-                                            artifact->entries,
-                                            artifact->num_features));
-  }
+  result.report = t3::ForestVerifier().Verify(*forest);
+  verify.state =
+      result.report.HasErrors() ? PassState::kFailed : PassState::kOk;
 
-  for (const t3::Diagnostic& diagnostic : report.diagnostics()) {
-    std::printf("%s: %s\n", path.c_str(), diagnostic.ToString().c_str());
+  // Only analyze code emitted from a verified forest: the emitter's own
+  // preconditions are exactly the verifier's Error checks.
+  if (verify.state != PassState::kOk || !t3::JitSupported()) return result;
+
+  t3::Result<t3::JitArtifact> artifact = t3::EmitForestCode(*forest);
+  if (!artifact.ok()) {
+    audit.state = PassState::kFailed;
+    result.report.Add(t3::Severity::kError, "jit-emit", -1, -1,
+                      artifact.status().message());
+    return result;
   }
-  std::printf("%s: %zu trees, %zu nodes, %d features%s: %zu errors, "
+  const t3::AnalysisReport audit_report = t3::JitCodeAuditor().Audit(
+      artifact->code.data(), artifact->code.size(), artifact->entries,
+      artifact->num_features);
+  audit.state =
+      audit_report.HasErrors() ? PassState::kFailed : PassState::kOk;
+  result.report.Merge(audit_report);
+
+  const t3::AnalysisReport equivalence =
+      t3::TranslationValidator().Validate(*forest, artifact->code.data(),
+                                          artifact->code.size(),
+                                          artifact->entries);
+  translate.state =
+      equivalence.HasErrors() ? PassState::kFailed : PassState::kOk;
+  result.report.Merge(equivalence);
+  return result;
+}
+
+void PrintHuman(const FileResult& result) {
+  if (result.unreadable) {
+    std::fprintf(stderr, "%s: %s\n", result.path.c_str(),
+                 result.unreadable_message.c_str());
+    return;
+  }
+  for (const t3::Diagnostic& diagnostic : result.report.diagnostics()) {
+    std::printf("%s: %s\n", result.path.c_str(),
+                diagnostic.ToString().c_str());
+  }
+  std::string passes;
+  for (const PassResult& pass : result.passes) {
+    if (!passes.empty()) passes += ' ';
+    passes += pass.name;
+    passes += '=';
+    passes += PassStateName(pass.state);
+  }
+  std::printf("%s: %zu trees, %zu nodes, %d features [%s]: %zu errors, "
               "%zu warnings\n",
-              path.c_str(), forest->trees.size(), forest->NumNodes(),
-              forest->num_features,
-              jit_audited ? ", jit audited" : ", jit not audited",
-              report.NumErrors(), report.NumWarnings());
-  if (report.HasErrors()) return 1;
-  if (strict && !report.empty()) return 1;
-  return 0;
+              result.path.c_str(), result.trees, result.nodes,
+              result.features, passes.c_str(), result.report.NumErrors(),
+              result.report.NumWarnings());
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<FileResult>& results, int exit_code) {
+  std::printf("{\n  \"files\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const FileResult& result = results[i];
+    std::printf("    {\n      \"path\": \"%s\",\n",
+                JsonEscape(result.path).c_str());
+    if (result.unreadable) {
+      std::printf("      \"unreadable\": \"%s\",\n",
+                  JsonEscape(result.unreadable_message).c_str());
+    }
+    std::printf("      \"trees\": %zu,\n      \"nodes\": %zu,\n"
+                "      \"features\": %d,\n",
+                result.trees, result.nodes, result.features);
+    std::printf("      \"passes\": {");
+    for (size_t p = 0; p < result.passes.size(); ++p) {
+      std::printf("%s\"%s\": \"%s\"", p == 0 ? "" : ", ",
+                  result.passes[p].name,
+                  PassStateName(result.passes[p].state));
+    }
+    std::printf("},\n      \"diagnostics\": [");
+    const std::vector<t3::Diagnostic>& diagnostics =
+        result.report.diagnostics();
+    for (size_t d = 0; d < diagnostics.size(); ++d) {
+      const t3::Diagnostic& diagnostic = diagnostics[d];
+      std::printf("%s\n        {\"severity\": \"%s\", \"check\": \"%s\", "
+                  "\"tree\": %d, \"node\": %d, \"message\": \"%s\"}",
+                  d == 0 ? "" : ",", t3::SeverityName(diagnostic.severity),
+                  JsonEscape(diagnostic.check).c_str(), diagnostic.tree,
+                  diagnostic.node, JsonEscape(diagnostic.message).c_str());
+    }
+    std::printf("%s],\n", diagnostics.empty() ? "" : "\n      ");
+    std::printf("      \"errors\": %zu,\n      \"warnings\": %zu\n    }%s\n",
+                result.report.NumErrors(), result.report.NumWarnings(),
+                i + 1 == results.size() ? "" : ",");
+  }
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const FileResult& result : results) {
+    errors += result.report.NumErrors();
+    warnings += result.report.NumWarnings();
+  }
+  std::printf("  ],\n  \"errors\": %zu,\n  \"warnings\": %zu,\n"
+              "  \"exit\": %d\n}\n",
+              errors, warnings, exit_code);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool strict = false;
+  bool json = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "t3_lint: unknown flag %s\n", argv[i]);
+      return 2;
     } else {
       paths.push_back(argv[i]);
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: t3_lint [--strict] <model.txt>...\n");
+    std::fprintf(stderr, "usage: t3_lint [--strict] [--json] <model.txt>...\n");
     return 2;
   }
+
+  std::vector<FileResult> results;
+  results.reserve(paths.size());
   int exit_code = 0;
   for (const std::string& path : paths) {
-    const int result = LintFile(path, strict);
-    if (result > exit_code) exit_code = result;
+    results.push_back(LintFile(path));
+    int code = results.back().ExitCode();
+    if (strict && code == 1) code = 2;
+    if (code > exit_code) exit_code = code;
+  }
+
+  if (json) {
+    PrintJson(results, exit_code);
+  } else {
+    for (const FileResult& result : results) PrintHuman(result);
   }
   return exit_code;
 }
