@@ -1,0 +1,292 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+/// Stream seed for one (column, chunk): a pure function of the generation
+/// seed and the column's coordinates, NOT of which thread runs the chunk.
+/// This is what makes generation bit-deterministic across pool sizes.
+uint64_t StreamSeed(uint64_t seed, const std::string& instance,
+                    const std::string& table, const std::string& column,
+                    uint64_t chunk) {
+  Fnv1a h;
+  h.U64(seed);
+  h.CString(instance);
+  h.CString(table);
+  h.CString(column);
+  h.U64(chunk);
+  return h.hash();
+}
+
+/// Inverse-CDF table for a zipfian distribution over ranks [1, n] with
+/// P(r) proportional to r^-skew. Built once per column and shared read-only
+/// by every chunk task.
+class ZipfTable {
+ public:
+  ZipfTable(int64_t n, double skew) : cum_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int64_t r = 1; r <= n; ++r) {
+      total += std::exp(-skew * std::log(static_cast<double>(r)));
+      cum_[static_cast<size_t>(r - 1)] = total;
+    }
+    for (double& c : cum_) c /= total;
+  }
+
+  /// Rank in [1, size()] for a uniform draw u in [0, 1).
+  int64_t Rank(double u) const {
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+    const auto idx = it == cum_.end() ? cum_.size() - 1
+                                      : static_cast<size_t>(it - cum_.begin());
+    return static_cast<int64_t>(idx) + 1;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(cum_.size()); }
+
+ private:
+  std::vector<double> cum_;
+};
+
+/// Deterministic value pool for a string column, built from a dedicated
+/// stream before any chunk task runs. Messy pools embed the separators the
+/// storage layer must survive: commas, pipes, quotes, spaces, tabs, newlines.
+std::vector<std::string> BuildStringPool(const ColumnSpec& spec, Rng* rng) {
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(spec.domain));
+  for (int64_t i = 0; i < spec.domain; ++i) {
+    std::string value =
+        StrFormat("%s_%05lld", spec.name.c_str(), static_cast<long long>(i));
+    const int64_t extra = rng->UniformInt(0, 7);
+    for (int64_t k = 0; k < extra; ++k) {
+      value += static_cast<char>('a' + rng->UniformInt(0, 25));
+    }
+    if (spec.messy_strings) {
+      if (rng->Bernoulli(0.5)) {
+        value += StrFormat(",f%lld|g",
+                           static_cast<long long>(rng->UniformInt(0, 99)));
+      }
+      if (rng->Bernoulli(0.3)) value += " \"quoted\"";
+      if (rng->Bernoulli(0.2)) value += "\tt";
+      if (rng->Bernoulli(0.1)) value += "\nn";
+    }
+    pool.push_back(std::move(value));
+  }
+  return pool;
+}
+
+/// Read-only per-column state shared by that column's chunk tasks.
+struct ColumnPlan {
+  const ColumnSpec* spec = nullptr;
+  const std::string* table_name = nullptr;  // For the per-chunk stream seed.
+  Column* column = nullptr;
+  const Column* base = nullptr;           // kCorrelated source
+  std::shared_ptr<ZipfTable> zipf;        // skewed draws
+  std::shared_ptr<std::vector<std::string>> pool;  // kString values
+  int64_t fk_rows = 0;                    // kForeignKey domain
+};
+
+double NumericAt(const Column& column, size_t row) {
+  return column.type() == ColumnType::kFloat64
+             ? column.Float64At(row)
+             : static_cast<double>(column.Int64At(row));
+}
+
+void GenerateChunk(const ColumnPlan& plan, size_t begin, size_t end, Rng rng) {
+  const ColumnSpec& spec = *plan.spec;
+  Column& column = *plan.column;
+  for (size_t row = begin; row < end; ++row) {
+    if (spec.null_fraction > 0.0 && rng.Bernoulli(spec.null_fraction)) {
+      column.SetNull(row);
+      continue;
+    }
+    if (spec.corr_base >= 0) {
+      if (plan.base->IsNull(row)) {
+        column.SetNull(row);
+        continue;
+      }
+      column.SetFloat64(row, spec.corr_slope * NumericAt(*plan.base, row) +
+                                 rng.Gaussian(0.0, spec.corr_noise));
+      continue;
+    }
+    switch (spec.dist) {
+      case DistKind::kSequential:
+        column.SetInt64(row, static_cast<int64_t>(row));
+        break;
+      case DistKind::kUniformInt:
+        column.SetInt64(row, rng.UniformInt(spec.lo, spec.hi));
+        break;
+      case DistKind::kUniformDouble:
+        column.SetFloat64(row, rng.UniformDouble(spec.dlo, spec.dhi));
+        break;
+      case DistKind::kNormal:
+        column.SetFloat64(row, rng.Gaussian(spec.mean, spec.stddev));
+        break;
+      case DistKind::kZipf:
+        column.SetInt64(row, plan.zipf->Rank(rng.Unit()));
+        break;
+      case DistKind::kForeignKey:
+        column.SetInt64(row, plan.zipf ? plan.zipf->Rank(rng.Unit()) - 1
+                                       : rng.UniformInt(0, plan.fk_rows - 1));
+        break;
+      case DistKind::kString:
+        column.SetString(
+            row, (*plan.pool)[static_cast<size_t>(
+                     plan.zipf ? plan.zipf->Rank(rng.Unit()) - 1
+                               : rng.UniformInt(0, spec.domain - 1))]);
+        break;
+      case DistKind::kDate:
+        column.SetInt64(row, rng.UniformInt(spec.lo, spec.hi));
+        break;
+    }
+  }
+}
+
+Status ValidateSpec(const InstanceSpec& spec) {
+  for (const TableSpec& table : spec.tables) {
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      const ColumnSpec& col = table.columns[i];
+      const std::string where = StrFormat("%s.%s.%s", spec.name.c_str(),
+                                          table.name.c_str(), col.name.c_str());
+      if (col.null_fraction < 0.0 || col.null_fraction >= 1.0) {
+        return InvalidArgumentError(where + ": null_fraction out of [0, 1)");
+      }
+      if (col.corr_base >= 0) {
+        if (static_cast<size_t>(col.corr_base) >= i) {
+          return InvalidArgumentError(
+              where + ": corr_base must index an earlier column");
+        }
+        const ColumnSpec& base = table.columns[static_cast<size_t>(col.corr_base)];
+        if (base.type == ColumnType::kString || base.corr_base >= 0) {
+          return InvalidArgumentError(
+              where + ": corr_base must be a non-correlated numeric column");
+        }
+        continue;
+      }
+      switch (col.dist) {
+        case DistKind::kZipf:
+        case DistKind::kString:
+          if (col.domain <= 0) {
+            return InvalidArgumentError(where + ": domain must be positive");
+          }
+          break;
+        case DistKind::kForeignKey: {
+          bool found = false;
+          for (const TableSpec& t : spec.tables) found |= t.name == col.fk_table;
+          if (!found) {
+            return InvalidArgumentError(where + ": unknown fk_table '" +
+                                        col.fk_table + "'");
+          }
+          break;
+        }
+        case DistKind::kUniformInt:
+        case DistKind::kDate:
+          if (col.lo > col.hi) {
+            return InvalidArgumentError(where + ": lo > hi");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Catalog> GenerateInstance(const InstanceSpec& spec,
+                                 const DatagenOptions& options) {
+  Status valid = ValidateSpec(spec);
+  if (!valid.ok()) return valid;
+  const double scale =
+      options.scale_override > 0.0 ? options.scale_override : spec.scale;
+
+  Catalog catalog;
+  for (const TableSpec& table_spec : spec.tables) {
+    Table& table = catalog.AddTable(table_spec.name);
+    const uint64_t rows = ScaledRows(table_spec.base_rows, scale);
+    for (const ColumnSpec& col_spec : table_spec.columns) {
+      table.AddColumn(col_spec.name, col_spec.type).Resize(rows);
+    }
+  }
+
+  // Plans are built only after every column exists: AddColumn may reallocate
+  // a table's column vector, so Column pointers are stable only now.
+  std::vector<ColumnPlan> wave0;
+  std::vector<ColumnPlan> wave1;  // Correlated columns: need wave0 results.
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    const TableSpec& table_spec = spec.tables[t];
+    Table& table = catalog.table(t);
+    for (size_t c = 0; c < table_spec.columns.size(); ++c) {
+      const ColumnSpec& col_spec = table_spec.columns[c];
+      ColumnPlan plan;
+      plan.spec = &col_spec;
+      plan.table_name = &table_spec.name;
+      plan.column = &table.column(c);
+      if (col_spec.corr_base >= 0) {
+        plan.base = &table.column(static_cast<size_t>(col_spec.corr_base));
+        wave1.push_back(plan);
+        continue;
+      }
+      if (col_spec.dist == DistKind::kForeignKey) {
+        for (const TableSpec& target : spec.tables) {
+          if (target.name == col_spec.fk_table) {
+            plan.fk_rows =
+                static_cast<int64_t>(ScaledRows(target.base_rows, scale));
+          }
+        }
+        if (col_spec.zipf_skew > 0.0) {
+          plan.zipf = std::make_shared<ZipfTable>(plan.fk_rows, col_spec.zipf_skew);
+        }
+      } else if (col_spec.dist == DistKind::kZipf ||
+                 (col_spec.dist == DistKind::kString && col_spec.zipf_skew > 0.0)) {
+        plan.zipf = std::make_shared<ZipfTable>(col_spec.domain, col_spec.zipf_skew);
+      }
+      if (col_spec.dist == DistKind::kString) {
+        Rng pool_rng(StreamSeed(options.seed, spec.name, table_spec.name,
+                                col_spec.name, ~uint64_t{0}));
+        plan.pool = std::make_shared<std::vector<std::string>>(
+            BuildStringPool(col_spec, &pool_rng));
+      }
+      wave0.push_back(plan);
+    }
+  }
+
+  // Wave 0 (independent columns), then wave 1 (correlated columns, which read
+  // their finished base columns). Within a wave every (column, chunk) task is
+  // independent and owns a disjoint row range.
+  for (const std::vector<ColumnPlan>* wave : {&wave0, &wave1}) {
+    for (const ColumnPlan& plan : *wave) {
+      const size_t rows = plan.column->size();
+      for (size_t begin = 0; begin < rows; begin += kDatagenChunkRows) {
+        const size_t end = std::min(rows, begin + kDatagenChunkRows);
+        const uint64_t chunk = begin / kDatagenChunkRows;
+        Rng rng(StreamSeed(options.seed, spec.name, *plan.table_name,
+                           plan.spec->name, chunk));
+        if (options.pool != nullptr) {
+          options.pool->Submit(
+              [plan, begin, end, rng] { GenerateChunk(plan, begin, end, rng); });
+        } else {
+          GenerateChunk(plan, begin, end, rng);
+        }
+      }
+    }
+    if (options.pool != nullptr) options.pool->Wait();
+  }
+
+  for (size_t t = 0; t < catalog.num_tables(); ++t) {
+    catalog.table(t).ComputeStats();
+  }
+  return catalog;
+}
+
+}  // namespace t3

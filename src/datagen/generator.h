@@ -1,0 +1,38 @@
+#ifndef T3_DATAGEN_GENERATOR_H_
+#define T3_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "datagen/spec.h"
+#include "storage/catalog.h"
+
+namespace t3 {
+
+/// Rows per generation chunk. A multiple of 64 so parallel chunk writers
+/// never share a null-bitmap word; also the granularity of the per-chunk
+/// seeding scheme, so it is part of the determinism contract — changing it
+/// changes every generated instance (and the golden fixture).
+inline constexpr size_t kDatagenChunkRows = 8192;
+
+struct DatagenOptions {
+  uint64_t seed = 42;
+  /// When > 0, replaces the instance's own scale (golden tests generate every
+  /// instance at one small scale this way).
+  double scale_override = 0.0;
+  /// Optional worker pool. Output is bit-identical with any pool size and
+  /// with no pool at all: every (column, chunk) gets its own PRNG stream
+  /// seeded from (seed, instance, table, column, chunk) only.
+  ThreadPool* pool = nullptr;
+};
+
+/// Generates the instance into a fresh catalog (tables in spec order, stats
+/// precomputed). Returns kInvalidArgument for malformed specs (unknown FK
+/// target, bad correlation base, empty domains).
+Result<Catalog> GenerateInstance(const InstanceSpec& spec,
+                                 const DatagenOptions& options);
+
+}  // namespace t3
+
+#endif  // T3_DATAGEN_GENERATOR_H_

@@ -1,0 +1,394 @@
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "datagen/spec.h"
+
+namespace t3 {
+namespace {
+
+// Column-spec builders. Each returns a fully parameterized ColumnSpec so the
+// schema tables below read like DDL.
+
+ColumnSpec Pk(const char* name) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kInt64;
+  c.dist = DistKind::kSequential;
+  return c;
+}
+
+ColumnSpec Fk(const char* name, const char* table, double skew = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kInt64;
+  c.dist = DistKind::kForeignKey;
+  c.fk_table = table;
+  c.zipf_skew = skew;
+  return c;
+}
+
+ColumnSpec UniformIntCol(const char* name, int64_t lo, int64_t hi,
+                         double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kInt64;
+  c.dist = DistKind::kUniformInt;
+  c.lo = lo;
+  c.hi = hi;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec UniformDoubleCol(const char* name, double lo, double hi,
+                            double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kFloat64;
+  c.dist = DistKind::kUniformDouble;
+  c.dlo = lo;
+  c.dhi = hi;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec NormalCol(const char* name, double mean, double stddev,
+                     double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kFloat64;
+  c.dist = DistKind::kNormal;
+  c.mean = mean;
+  c.stddev = stddev;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec ZipfCol(const char* name, int64_t domain, double skew,
+                   double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kInt64;
+  c.dist = DistKind::kZipf;
+  c.domain = domain;
+  c.zipf_skew = skew;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec StrCol(const char* name, int64_t domain, double skew = 0.0,
+                  double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kString;
+  c.dist = DistKind::kString;
+  c.domain = domain;
+  c.zipf_skew = skew;
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec MessyStrCol(const char* name, int64_t domain, double nulls = 0.0) {
+  ColumnSpec c = StrCol(name, domain, 0.0, nulls);
+  c.messy_strings = true;
+  return c;
+}
+
+ColumnSpec DateCol(const char* name, int year_lo, int year_hi,
+                   double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kDate;
+  c.dist = DistKind::kDate;
+  c.lo = DaysFromCivil(year_lo, 1, 1);
+  c.hi = DaysFromCivil(year_hi, 12, 31);
+  c.null_fraction = nulls;
+  return c;
+}
+
+ColumnSpec CorrCol(const char* name, int base_index, double slope,
+                   double noise, double nulls = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = ColumnType::kFloat64;
+  c.corr_base = base_index;
+  c.corr_slope = slope;
+  c.corr_noise = noise;
+  c.null_fraction = nulls;
+  return c;
+}
+
+TableSpec T(const char* name, uint64_t base_rows,
+            std::vector<ColumnSpec> columns) {
+  TableSpec t;
+  t.name = name;
+  t.base_rows = base_rows;
+  t.columns = std::move(columns);
+  return t;
+}
+
+// Schema families. Row counts are at scale 1.0; the container-scale note in
+// DESIGN.md applies (thousands, not millions, of rows).
+
+std::vector<TableSpec> TpchTables() {
+  return {
+      T("region", 5, {Pk("r_id"), StrCol("r_name", 5), MessyStrCol("r_comment", 5)}),
+      T("nation", 25,
+        {Pk("n_id"), Fk("n_region", "region"), StrCol("n_name", 25)}),
+      T("supplier", 1000,
+        {Pk("s_id"), Fk("s_nation", "nation"), NormalCol("s_acctbal", 4500, 2000),
+         MessyStrCol("s_comment", 800, 0.02)}),
+      T("customer", 3000,
+        {Pk("c_id"), Fk("c_nation", "nation"), NormalCol("c_acctbal", 4500, 2200),
+         StrCol("c_mktsegment", 5, 0.8), DateCol("c_since", 1992, 1998)}),
+      T("part", 2000,
+        {Pk("p_id"), UniformIntCol("p_size", 1, 50), NormalCol("p_retail", 1500, 400),
+         StrCol("p_type", 150), StrCol("p_container", 40, 0.0, 0.01)}),
+      T("partsupp", 8000,
+        {Fk("ps_part", "part"), Fk("ps_supp", "supplier"),
+         UniformIntCol("ps_availqty", 1, 9999),
+         UniformDoubleCol("ps_supplycost", 1, 1000)}),
+      T("orders", 6000,
+        {Pk("o_id"), Fk("o_cust", "customer", 0.8), DateCol("o_date", 1992, 1998),
+         NormalCol("o_totalprice", 150000, 40000), StrCol("o_priority", 5, 1.0)}),
+      T("lineitem", 24000,
+        {Fk("l_order", "orders"), Fk("l_part", "part"), Fk("l_supp", "supplier"),
+         UniformIntCol("l_qty", 1, 50), CorrCol("l_price", 3, 1500, 300),
+         UniformDoubleCol("l_discount", 0, 0.1), DateCol("l_ship", 1992, 1998),
+         MessyStrCol("l_comment", 5000, 0.03)}),
+  };
+}
+
+std::vector<TableSpec> TpcdsTables() {
+  return {
+      T("date_dim", 2000,
+        {Pk("d_id"), DateCol("d_date", 1998, 2003), UniformIntCol("d_year", 1998, 2003),
+         UniformIntCol("d_moy", 1, 12)}),
+      T("item", 3000,
+        {Pk("i_id"), StrCol("i_category", 10, 1.1), StrCol("i_brand", 100, 0.9),
+         NormalCol("i_price", 50, 25, 0.01)}),
+      T("customer_address", 4000,
+        {Pk("ca_id"), StrCol("ca_state", 50, 1.2), StrCol("ca_zip", 1000),
+         UniformIntCol("ca_gmt", -10, -5)}),
+      T("customer", 5000,
+        {Pk("cu_id"), Fk("cu_addr", "customer_address"),
+         DateCol("cu_birth", 1930, 2000, 0.05)}),
+      T("store", 60,
+        {Pk("st_id"), NormalCol("st_sqft", 60000, 15000), StrCol("st_state", 20)}),
+      T("store_sales", 30000,
+        {Fk("ss_item", "item", 1.05), Fk("ss_cust", "customer"),
+         Fk("ss_store", "store"), Fk("ss_date", "date_dim"),
+         UniformIntCol("ss_qty", 1, 100), NormalCol("ss_price", 40, 18),
+         CorrCol("ss_net", 4, 40, 60)}),
+      T("store_returns", 3000,
+        {Fk("sr_item", "item"), Fk("sr_cust", "customer"), Fk("sr_date", "date_dim"),
+         NormalCol("sr_amount", 35, 20, 0.1)}),
+  };
+}
+
+std::vector<TableSpec> ImdbTables() {
+  return {
+      T("title", 10000,
+        {Pk("t_id"), StrCol("t_kind", 7, 1.3), UniformIntCol("t_year", 1900, 2020, 0.08),
+         MessyStrCol("t_title", 9000)}),
+      T("name", 8000,
+        {Pk("n_id"), StrCol("n_name", 7500), StrCol("n_gender", 3, 0.7, 0.3)}),
+      T("company", 2000,
+        {Pk("co_id"), StrCol("co_country", 80, 1.4), MessyStrCol("co_name", 1900)}),
+      T("cast_info", 40000,
+        {Fk("ci_title", "title", 1.0), Fk("ci_person", "name", 0.9),
+         StrCol("ci_role", 12, 1.1)}),
+      T("movie_companies", 15000,
+        {Fk("mc_title", "title"), Fk("mc_company", "company", 1.2),
+         StrCol("mc_type", 4)}),
+      T("movie_info", 25000,
+        {Fk("mi_title", "title", 0.8), StrCol("mi_type", 110, 1.3),
+         MessyStrCol("mi_note", 5000, 0.5)}),
+  };
+}
+
+std::vector<TableSpec> AirlineTables() {
+  return {
+      T("airports", 400,
+        {Pk("ap_id"), StrCol("ap_state", 50, 1.1), NormalCol("ap_elev", 300, 400, 0.02)}),
+      T("carriers", 30, {Pk("cr_id"), StrCol("cr_name", 30)}),
+      T("aircraft", 800,
+        {Pk("ac_id"), Fk("ac_carrier", "carriers"), UniformIntCol("ac_seats", 50, 400)}),
+      T("flights", 30000,
+        {Pk("f_id"), Fk("f_orig", "airports", 1.2), Fk("f_dest", "airports", 1.2),
+         Fk("f_carrier", "carriers", 0.8), DateCol("f_date", 2015, 2020),
+         UniformDoubleCol("f_dist", 100, 5000), CorrCol("f_minutes", 5, 0.12, 15),
+         NormalCol("f_delay", 5, 30, 0.04)}),
+  };
+}
+
+std::vector<TableSpec> FinancialTables() {
+  return {
+      T("clients", 2000,
+        {Pk("cl_id"), UniformIntCol("cl_district", 1, 77), DateCol("cl_birth", 1930, 2000)}),
+      T("accounts", 2500,
+        {Pk("a_id"), Fk("a_client", "clients"), StrCol("a_freq", 3, 0.6),
+         DateCol("a_open", 1993, 1998)}),
+      T("loans", 600,
+        {Pk("l_id"), Fk("l_acct", "accounts"), NormalCol("l_amount", 150000, 70000),
+         StrCol("l_status", 4, 1.0)}),
+      T("transactions", 40000,
+        {Pk("tr_id"), Fk("tr_acct", "accounts", 0.9), DateCol("tr_date", 1993, 1999),
+         ZipfCol("tr_amount", 5000, 1.05), CorrCol("tr_balance", 3, 1.0, 500),
+         StrCol("tr_type", 6, 0.9), MessyStrCol("tr_note", 300, 0.35)}),
+  };
+}
+
+std::vector<TableSpec> HealthTables() {
+  return {
+      T("patients", 3000,
+        {Pk("pa_id"), DateCol("pa_birth", 1920, 2015), StrCol("pa_state", 50, 1.0),
+         NormalCol("pa_risk", 50, 15, 0.02)}),
+      T("providers", 500,
+        {Pk("pr_id"), StrCol("pr_specialty", 40, 1.2), UniformIntCol("pr_years", 0, 40)}),
+      T("visits", 20000,
+        {Pk("v_id"), Fk("v_patient", "patients", 0.8), Fk("v_provider", "providers", 1.0),
+         DateCol("v_date", 2010, 2020), NormalCol("v_cost", 240, 120),
+         CorrCol("v_minutes", 4, 0.1, 6)}),
+      T("prescriptions", 15000,
+        {Fk("rx_visit", "visits"), ZipfCol("rx_drug", 900, 1.15),
+         UniformIntCol("rx_days", 1, 90), UniformIntCol("rx_refills", 0, 5, 0.15)}),
+  };
+}
+
+std::vector<TableSpec> RetailTables() {
+  return {
+      T("products", 2500,
+        {Pk("p_id"), StrCol("p_cat", 25, 1.1), NormalCol("p_price", 30, 18),
+         UniformDoubleCol("p_weight", 0.05, 40, 0.03)}),
+      T("stores", 120,
+        {Pk("s_id"), StrCol("s_region", 8), NormalCol("s_sqm", 1800, 600)}),
+      T("customers", 4000,
+        {Pk("c_id"), StrCol("c_segment", 4, 0.7), DateCol("c_since", 2005, 2020),
+         ZipfCol("c_points", 2000, 0.95, 0.1)}),
+      T("sales", 35000,
+        {Pk("sa_id"), Fk("sa_product", "products", 1.1), Fk("sa_store", "stores", 0.9),
+         Fk("sa_customer", "customers"), DateCol("sa_date", 2015, 2021),
+         UniformIntCol("sa_qty", 1, 12), CorrCol("sa_total", 5, 30, 25)}),
+  };
+}
+
+std::vector<TableSpec> SensorTables() {
+  return {
+      T("locations", 200,
+        {Pk("lo_id"), StrCol("lo_zone", 12, 0.8), UniformDoubleCol("lo_lat", -90, 90),
+         UniformDoubleCol("lo_lon", -180, 180)}),
+      T("sensors", 1500,
+        {Pk("se_id"), Fk("se_loc", "locations"), StrCol("se_kind", 9, 1.0),
+         DateCol("se_installed", 2012, 2020)}),
+      T("readings", 60000,
+        {Fk("r_sensor", "sensors", 0.7), DateCol("r_time", 2018, 2021),
+         NormalCol("r_value", 20, 8, 0.01), UniformDoubleCol("r_battery", 0, 100),
+         CorrCol("r_adjusted", 2, 1.02, 0.5)}),
+      T("alerts", 2000,
+        {Fk("al_sensor", "sensors", 1.3), StrCol("al_level", 4, 1.2),
+         DateCol("al_date", 2018, 2021), UniformIntCol("al_ack", 0, 1, 0.2)}),
+  };
+}
+
+std::vector<TableSpec> SocialTables() {
+  return {
+      T("users", 5000,
+        {Pk("u_id"), StrCol("u_country", 120, 1.3), DateCol("u_joined", 2008, 2021),
+         ZipfCol("u_karma", 10000, 1.1)}),
+      T("posts", 25000,
+        {Pk("po_id"), Fk("po_user", "users", 1.1), DateCol("po_date", 2008, 2021),
+         NormalCol("po_score", 10, 40), MessyStrCol("po_body", 20000, 0.02)}),
+      T("follows", 30000,
+        {Fk("fo_src", "users", 1.2), Fk("fo_dst", "users", 1.0),
+         DateCol("fo_date", 2008, 2021)}),
+      T("likes", 40000,
+        {Fk("li_post", "posts", 1.15), Fk("li_user", "users", 0.9),
+         DateCol("li_date", 2008, 2021)}),
+  };
+}
+
+std::vector<TableSpec> WebTables() {
+  return {
+      T("pages", 3000,
+        {Pk("pg_id"), MessyStrCol("pg_path", 2800), UniformIntCol("pg_depth", 0, 8)}),
+      T("referrers", 300, {Pk("rf_id"), StrCol("rf_domain", 280, 1.2)}),
+      T("sessions", 8000,
+        {Pk("ss_id"), Fk("ss_ref", "referrers", 1.25), DateCol("ss_start", 2019, 2022),
+         NormalCol("ss_dur", 300, 200, 0.05)}),
+      T("pageviews", 50000,
+        {Fk("pv_session", "sessions", 0.8), Fk("pv_page", "pages", 1.2),
+         DateCol("pv_date", 2019, 2022), UniformDoubleCol("pv_scroll", 0, 1),
+         CorrCol("pv_ms", 3, 8000, 900)}),
+  };
+}
+
+InstanceSpec Instance(const std::string& family, const std::string& suffix,
+                      double scale, std::vector<TableSpec> tables) {
+  InstanceSpec spec;
+  spec.name = family + "_" + suffix;
+  spec.family = family;
+  spec.scale = scale;
+  spec.tables = std::move(tables);
+  return spec;
+}
+
+std::vector<InstanceSpec> BuildAllInstances() {
+  std::vector<InstanceSpec> all;
+  // sf families at 0.2 / 1 / 5 (relative scales within the family, per the
+  // container-scale note in DESIGN.md); small/large families at 0.3 / 2.
+  all.push_back(Instance("tpch", "sf0", 0.2, TpchTables()));
+  all.push_back(Instance("tpch", "sf1", 1.0, TpchTables()));
+  all.push_back(Instance("tpch", "sf2", 5.0, TpchTables()));
+  all.push_back(Instance("tpcds", "sf0", 0.2, TpcdsTables()));
+  all.push_back(Instance("tpcds", "sf1", 1.0, TpcdsTables()));
+  all.push_back(Instance("tpcds", "sf2", 5.0, TpcdsTables()));
+  all.push_back(Instance("imdb", "sf1", 1.0, ImdbTables()));
+  all.push_back(Instance("airline", "small", 0.3, AirlineTables()));
+  all.push_back(Instance("airline", "large", 2.0, AirlineTables()));
+  all.push_back(Instance("financial", "small", 0.3, FinancialTables()));
+  all.push_back(Instance("financial", "large", 2.0, FinancialTables()));
+  all.push_back(Instance("health", "small", 0.3, HealthTables()));
+  all.push_back(Instance("health", "large", 2.0, HealthTables()));
+  all.push_back(Instance("retail", "small", 0.3, RetailTables()));
+  all.push_back(Instance("retail", "large", 2.0, RetailTables()));
+  all.push_back(Instance("sensor", "small", 0.3, SensorTables()));
+  all.push_back(Instance("sensor", "large", 2.0, SensorTables()));
+  all.push_back(Instance("social", "small", 0.3, SocialTables()));
+  all.push_back(Instance("social", "large", 2.0, SocialTables()));
+  all.push_back(Instance("web", "small", 0.3, WebTables()));
+  all.push_back(Instance("web", "large", 2.0, WebTables()));
+  std::sort(all.begin(), all.end(),
+            [](const InstanceSpec& a, const InstanceSpec& b) {
+              return a.name < b.name;
+            });
+  return all;
+}
+
+}  // namespace
+
+uint64_t ScaledRows(uint64_t base_rows, double scale) {
+  const auto rows = static_cast<uint64_t>(
+      static_cast<double>(base_rows) * scale + 0.5);
+  return rows == 0 ? 1 : rows;
+}
+
+const std::vector<InstanceSpec>& AllInstances() {
+  static const std::vector<InstanceSpec>* const kInstances =
+      new std::vector<InstanceSpec>(BuildAllInstances());
+  return *kInstances;
+}
+
+Result<const InstanceSpec*> FindInstance(const std::string& name) {
+  for (const InstanceSpec& spec : AllInstances()) {
+    if (spec.name == name) return &spec;
+  }
+  std::string names;
+  for (const InstanceSpec& spec : AllInstances()) {
+    if (!names.empty()) names += ", ";
+    names += spec.name;
+  }
+  return NotFoundError(StrFormat("no instance '%s' (valid: %s)", name.c_str(),
+                                 names.c_str()));
+}
+
+}  // namespace t3

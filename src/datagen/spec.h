@@ -1,0 +1,75 @@
+#ifndef T3_DATAGEN_SPEC_H_
+#define T3_DATAGEN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace t3 {
+
+/// Value distribution of a generated column.
+enum class DistKind {
+  kSequential,    // 0, 1, 2, ... (primary keys)
+  kUniformInt,    // uniform int64 in [lo, hi]
+  kUniformDouble, // uniform double in [dlo, dhi)
+  kNormal,        // Gaussian(mean, stddev)
+  kZipf,          // rank r in [1, domain] with P(r) proportional to 1/r^zipf_skew
+  kForeignKey,    // row id of fk_table; uniform, or zipfian when zipf_skew > 0
+  kString,        // draw from a seeded pool of `domain` distinct strings
+  kDate,          // uniform days-since-epoch in [lo, hi]
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  DistKind dist = DistKind::kUniformInt;
+  double null_fraction = 0.0;
+
+  int64_t lo = 0, hi = 0;        // kUniformInt, kDate (inclusive)
+  double dlo = 0.0, dhi = 1.0;   // kUniformDouble
+  double mean = 0.0, stddev = 1.0;  // kNormal
+  double zipf_skew = 0.0;        // kZipf; kForeignKey/kString skew when > 0
+  int64_t domain = 0;            // kZipf ranks, kString pool size
+  std::string fk_table;          // kForeignKey target
+  bool messy_strings = false;    // kString: embed separators/quotes/spaces
+
+  /// When >= 0 the column is float64 `corr_slope * base + N(0, corr_noise)`,
+  /// computed from the already generated numeric column at this index in the
+  /// same table (NULL where the base is NULL). `dist` is ignored.
+  int corr_base = -1;
+  double corr_slope = 1.0;
+  double corr_noise = 1.0;
+};
+
+struct TableSpec {
+  std::string name;
+  uint64_t base_rows = 0;  // Row count at scale 1.0.
+  std::vector<ColumnSpec> columns;
+};
+
+/// One named database instance: a schema family plus its scale.
+struct InstanceSpec {
+  std::string name;    // e.g. "tpch_sf1"
+  std::string family;  // e.g. "tpch"
+  double scale = 1.0;
+  std::vector<TableSpec> tables;
+};
+
+/// Effective row count of a table at a scale factor (at least 1).
+uint64_t ScaledRows(uint64_t base_rows, double scale);
+
+/// The 21 named synthetic instances of the generalization experiments
+/// (Figure 9, Tables 3/4): tpch_sf{0,1,2}, tpcds_sf{0,1,2}, imdb_sf1, and
+/// {airline,financial,health,retail,sensor,social,web}_{small,large}.
+/// Ordered by name; the order is part of the golden-fixture contract.
+const std::vector<InstanceSpec>& AllInstances();
+
+/// Instance by name, or kNotFound listing the valid names.
+Result<const InstanceSpec*> FindInstance(const std::string& name);
+
+}  // namespace t3
+
+#endif  // T3_DATAGEN_SPEC_H_

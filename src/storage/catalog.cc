@@ -1,0 +1,37 @@
+#include "storage/catalog.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace t3 {
+
+Table& Catalog::AddTable(std::string name) {
+  for (const auto& table : tables_) {
+    T3_CHECK(table->name() != name);  // Duplicate table name.
+  }
+  tables_.push_back(std::make_unique<Table>(std::move(name)));
+  return *tables_.back();
+}
+
+Result<const Table*> Catalog::FindTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) return static_cast<const Table*>(table.get());
+  }
+  return NotFoundError(StrFormat("no table '%s' in catalog", name.c_str()));
+}
+
+Result<Table*> Catalog::FindTable(const std::string& name) {
+  for (const auto& table : tables_) {
+    if (table->name() == name) return table.get();
+  }
+  return NotFoundError(StrFormat("no table '%s' in catalog", name.c_str()));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& table : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace t3

@@ -1,0 +1,39 @@
+#ifndef T3_STORAGE_CATALOG_H_
+#define T3_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace t3 {
+
+/// A database instance: named tables in insertion order. Tables are held by
+/// unique_ptr so pointers handed out stay stable as tables are added.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Creates an empty table; the name must be unused.
+  Table& AddTable(std::string name);
+
+  Result<const Table*> FindTable(const std::string& name) const;
+  Result<Table*> FindTable(const std::string& name);
+
+  size_t num_tables() const { return tables_.size(); }
+  const Table& table(size_t index) const { return *tables_[index]; }
+  Table& table(size_t index) { return *tables_[index]; }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_CATALOG_H_

@@ -1,0 +1,51 @@
+#include "storage/checksum.h"
+
+#include <string>
+
+#include "common/hash.h"
+
+namespace t3 {
+
+uint64_t ColumnChecksum(const Column& column) {
+  Fnv1a h;
+  h.U64(static_cast<uint64_t>(column.type()));
+  h.U64(column.size());
+  for (const uint64_t word : column.null_words()) h.U64(word);
+  for (size_t row = 0; row < column.size(); ++row) {
+    switch (column.type()) {
+      case ColumnType::kInt64:
+      case ColumnType::kDate:
+        h.U64(static_cast<uint64_t>(column.Int64At(row)));
+        break;
+      case ColumnType::kFloat64:
+        h.F64(column.Float64At(row));
+        break;
+      case ColumnType::kString:
+        h.LengthPrefixedString(column.StringAt(row));
+        break;
+    }
+  }
+  return h.hash();
+}
+
+uint64_t TableChecksum(const Table& table) {
+  Fnv1a h;
+  h.LengthPrefixedString(table.name());
+  h.U64(table.num_columns());
+  for (const Column& column : table.columns()) {
+    h.LengthPrefixedString(column.name());
+    h.U64(ColumnChecksum(column));
+  }
+  return h.hash();
+}
+
+uint64_t CatalogChecksum(const Catalog& catalog) {
+  Fnv1a h;
+  h.U64(catalog.num_tables());
+  for (size_t i = 0; i < catalog.num_tables(); ++i) {
+    h.U64(TableChecksum(catalog.table(i)));
+  }
+  return h.hash();
+}
+
+}  // namespace t3

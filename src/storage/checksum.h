@@ -1,0 +1,27 @@
+#ifndef T3_STORAGE_CHECKSUM_H_
+#define T3_STORAGE_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace t3 {
+
+/// Order-sensitive FNV-1a fingerprint of a column's full contents: type tag,
+/// row count, every null-bitmap word, and every value (strings
+/// length-prefixed, doubles by bit pattern). Two columns checksum equal iff
+/// they are bit-identical, which is what the datagen determinism tests and
+/// the golden fixture pin down.
+uint64_t ColumnChecksum(const Column& column);
+
+/// Combines the table name and each column's name + checksum.
+uint64_t TableChecksum(const Table& table);
+
+/// Combines every table's checksum in catalog order.
+uint64_t CatalogChecksum(const Catalog& catalog);
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_CHECKSUM_H_

@@ -1,0 +1,130 @@
+#include "storage/column_stats.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace t3 {
+namespace {
+
+// The fixed hashes behind the KMV distinct-value sketch: FNV-1a for strings,
+// bit patterns for numerics, SplitMix64-whitened so hash magnitudes are
+// uniform.
+uint64_t HashString(const std::string& s) {
+  Fnv1a h;
+  h.Bytes(s.data(), s.size());
+  return SplitMix64(h.hash());
+}
+
+uint64_t HashDouble(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return SplitMix64(bits);
+}
+
+/// K-minimum-values sketch: keeps the k smallest distinct hashes. While fewer
+/// than k distinct hashes were seen the count is exact; beyond that the NDV is
+/// estimated from the k-th smallest hash's position in the hash space.
+class KmvSketch {
+ public:
+  void Add(uint64_t hash) {
+    if (hashes_.size() == kNdvSketchSize &&
+        hash >= *hashes_.rbegin()) {
+      saturated_ = true;
+      return;
+    }
+    if (hashes_.insert(hash).second && hashes_.size() > kNdvSketchSize) {
+      hashes_.erase(std::prev(hashes_.end()));
+      saturated_ = true;
+    }
+  }
+
+  bool exact() const { return !saturated_; }
+
+  uint64_t Estimate() const {
+    if (!saturated_) return hashes_.size();
+    const double kth = static_cast<double>(*hashes_.rbegin());
+    const double unit = kth / 18446744073709551616.0;  // 2^64
+    return static_cast<uint64_t>(
+        static_cast<double>(kNdvSketchSize - 1) / unit);
+  }
+
+ private:
+  std::set<uint64_t> hashes_;
+  bool saturated_ = false;
+};
+
+/// Equi-depth boundaries: numpy-style linearly interpolated quantiles
+/// j / kNumHistogramBuckets over the sorted non-null values.
+std::vector<double> EquiDepthBounds(std::vector<double> values) {
+  std::vector<double> bounds;
+  if (values.empty()) return bounds;
+  std::sort(values.begin(), values.end());
+  bounds.reserve(kNumHistogramBuckets + 1);
+  for (size_t j = 0; j <= kNumHistogramBuckets; ++j) {
+    const double pos = static_cast<double>(j) / kNumHistogramBuckets *
+                       static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    bounds.push_back(values[lo] + frac * (values[hi] - values[lo]));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats stats;
+  stats.type = column.type();
+  stats.row_count = column.size();
+
+  KmvSketch sketch;
+  std::vector<double> numeric;  // Non-null values for the histogram.
+  bool first = true;
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (column.IsNull(row)) {
+      ++stats.null_count;
+      continue;
+    }
+    switch (column.type()) {
+      case ColumnType::kInt64:
+      case ColumnType::kDate: {
+        const int64_t v = column.Int64At(row);
+        if (first || v < stats.min_i64) stats.min_i64 = v;
+        if (first || v > stats.max_i64) stats.max_i64 = v;
+        sketch.Add(SplitMix64(static_cast<uint64_t>(v)));
+        numeric.push_back(static_cast<double>(v));
+        break;
+      }
+      case ColumnType::kFloat64: {
+        const double v = column.Float64At(row);
+        if (first || v < stats.min_f64) stats.min_f64 = v;
+        if (first || v > stats.max_f64) stats.max_f64 = v;
+        sketch.Add(HashDouble(v));
+        numeric.push_back(v);
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& v = column.StringAt(row);
+        if (first || v < stats.min_str) stats.min_str = v;
+        if (first || v > stats.max_str) stats.max_str = v;
+        sketch.Add(HashString(v));
+        break;
+      }
+    }
+    first = false;
+  }
+  stats.has_range = !first;
+  stats.ndv = sketch.Estimate();
+  stats.ndv_exact = sketch.exact();
+  if (column.type() != ColumnType::kString) {
+    stats.histogram_bounds = EquiDepthBounds(std::move(numeric));
+  }
+  return stats;
+}
+
+}  // namespace t3

@@ -1,0 +1,57 @@
+#ifndef T3_STORAGE_COLUMN_STATS_H_
+#define T3_STORAGE_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace t3 {
+
+/// Per-column statistics consumed by the cardinality estimator, the query
+/// generator's predicate sampler, and the datagen golden tests.
+///
+/// ComputeColumnStats is a pure function of the column contents, so
+/// recomputation is idempotent and stats are bit-deterministic whenever the
+/// data is.
+struct ColumnStats {
+  ColumnType type = ColumnType::kInt64;
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+
+  /// Min/max over non-null values; has_range is false when every row is NULL
+  /// (or the column is empty). The pair matching `type` is meaningful.
+  bool has_range = false;
+  int64_t min_i64 = 0, max_i64 = 0;  // kInt64, kDate
+  double min_f64 = 0.0, max_f64 = 0.0;  // kFloat64
+  std::string min_str, max_str;  // kString
+
+  /// Number of distinct non-null values. Exact (ndv_exact) up to the KMV
+  /// sketch size; a k-minimum-values estimate beyond it. Deterministic either
+  /// way because the hash is fixed.
+  uint64_t ndv = 0;
+  bool ndv_exact = true;
+
+  /// Equi-depth histogram boundaries (ascending, kNumHistogramBuckets + 1
+  /// entries) for numeric and date columns with at least one non-null value;
+  /// empty for string columns. Dates are boundaries in days-since-epoch.
+  std::vector<double> histogram_bounds;
+
+  double null_fraction() const {
+    return row_count == 0 ? 0.0
+                          : static_cast<double>(null_count) /
+                                static_cast<double>(row_count);
+  }
+
+  bool operator==(const ColumnStats&) const = default;
+};
+
+inline constexpr size_t kNumHistogramBuckets = 16;
+inline constexpr size_t kNdvSketchSize = 256;
+
+ColumnStats ComputeColumnStats(const Column& column);
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_COLUMN_STATS_H_

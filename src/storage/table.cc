@@ -1,0 +1,28 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace t3 {
+
+Column& Table::AddColumn(std::string name, ColumnType type) {
+  columns_.emplace_back(std::move(name), type);
+  return columns_.back();
+}
+
+Result<const Column*> Table::FindColumn(const std::string& name) const {
+  for (const Column& column : columns_) {
+    if (column.name() == name) return &column;
+  }
+  return NotFoundError(
+      StrFormat("no column '%s' in table '%s'", name.c_str(), name_.c_str()));
+}
+
+void Table::ComputeStats() {
+  stats_.clear();
+  stats_.reserve(columns_.size());
+  for (const Column& column : columns_) {
+    stats_.push_back(ComputeColumnStats(column));
+  }
+}
+
+}  // namespace t3

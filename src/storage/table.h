@@ -1,0 +1,51 @@
+#ifndef T3_STORAGE_TABLE_H_
+#define T3_STORAGE_TABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/column_stats.h"
+
+namespace t3 {
+
+/// A named collection of equally sized columns. Tables are built either by
+/// appending whole columns (AddColumn) or by the datagen parallel path
+/// (columns pre-Resized and filled in place).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_columns() const { return columns_.size(); }
+  /// Row count of the first column (all columns are equally sized; 0 when the
+  /// table has no columns).
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Adds a column; its size must match existing columns'.
+  Column& AddColumn(std::string name, ColumnType type);
+
+  const Column& column(size_t index) const { return columns_[index]; }
+  Column& column(size_t index) { return columns_[index]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Column by name, or kNotFound.
+  Result<const Column*> FindColumn(const std::string& name) const;
+
+  /// Recomputes and caches ColumnStats for every column. Pure recomputation:
+  /// calling it again on unchanged data yields identical stats.
+  void ComputeStats();
+  /// Stats from the last ComputeStats call; empty before the first call.
+  const std::vector<ColumnStats>& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_TABLE_H_

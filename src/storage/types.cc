@@ -1,0 +1,59 @@
+#include "storage/types.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace t3 {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kFloat64:
+      return "float64";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kDate:
+      return "date";
+  }
+  T3_CHECK(false);
+  return "?";
+}
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms (public
+// domain), which are exact over the full proleptic Gregorian calendar.
+int64_t DaysFromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (static_cast<unsigned>(month) + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;                        // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                  // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+std::string FormatDate(int64_t days) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  CivilFromDays(days, &year, &month, &day);
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+}  // namespace t3

@@ -1,0 +1,39 @@
+#ifndef T3_STORAGE_TYPES_H_
+#define T3_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace t3 {
+
+/// Logical type of a column. Dates are stored as int64 days since the Unix
+/// epoch (1970-01-01) so date arithmetic and statistics reuse the integer
+/// paths; they format as ISO "YYYY-MM-DD".
+enum class ColumnType {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+/// "int64", "float64", "string", "date".
+const char* ColumnTypeName(ColumnType type);
+
+/// True for the types whose values live in the int64 buffer.
+inline bool IsIntegerBacked(ColumnType type) {
+  return type == ColumnType::kInt64 || type == ColumnType::kDate;
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date. Valid for the
+/// whole int32 year range; the inverse of CivilFromDays.
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// ISO date string "YYYY-MM-DD" for days-since-epoch.
+std::string FormatDate(int64_t days);
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_TYPES_H_

@@ -1,0 +1,95 @@
+// The datagen determinism contract: for a fixed (instance, seed, scale), the
+// generated bits are identical across runs and across thread-pool sizes
+// 1/4/8 (and no pool at all). Checksums cover every value buffer and every
+// null-bitmap word (see ColumnChecksum).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "gtest/gtest.h"
+#include "storage/checksum.h"
+
+namespace t3 {
+namespace {
+
+// Instances that cover every distribution kind, both fk shapes, messy
+// strings, and chunk counts > 1 at the test scale.
+const char* const kProbeInstances[] = {"tpch_sf1", "tpcds_sf0", "sensor_small"};
+
+std::map<std::string, uint64_t> TableChecksums(const Catalog& catalog) {
+  std::map<std::string, uint64_t> sums;
+  for (size_t t = 0; t < catalog.num_tables(); ++t) {
+    sums[catalog.table(t).name()] = TableChecksum(catalog.table(t));
+  }
+  return sums;
+}
+
+Catalog Generate(const std::string& instance, uint64_t seed, double scale,
+                 ThreadPool* pool) {
+  Result<const InstanceSpec*> spec = FindInstance(instance);
+  T3_CHECK_OK(spec);
+  DatagenOptions options;
+  options.seed = seed;
+  options.scale_override = scale;
+  options.pool = pool;
+  Result<Catalog> catalog = GenerateInstance(**spec, options);
+  T3_CHECK_OK(catalog);
+  return *std::move(catalog);
+}
+
+TEST(DatagenDeterminismTest, SameSeedSameBitsAcrossRuns) {
+  for (const char* instance : kProbeInstances) {
+    const Catalog first = Generate(instance, 7, 0.5, nullptr);
+    const Catalog second = Generate(instance, 7, 0.5, nullptr);
+    EXPECT_EQ(CatalogChecksum(first), CatalogChecksum(second)) << instance;
+    EXPECT_EQ(TableChecksums(first), TableChecksums(second)) << instance;
+  }
+}
+
+TEST(DatagenDeterminismTest, DifferentSeedsDifferentBits) {
+  const Catalog a = Generate("tpch_sf0", 1, 0.5, nullptr);
+  const Catalog b = Generate("tpch_sf0", 2, 0.5, nullptr);
+  EXPECT_NE(CatalogChecksum(a), CatalogChecksum(b));
+}
+
+TEST(DatagenDeterminismTest, ScaleChangesRowCountsNotDeterminism) {
+  const Catalog small = Generate("web_small", 3, 0.2, nullptr);
+  const Catalog small_again = Generate("web_small", 3, 0.2, nullptr);
+  const Catalog larger = Generate("web_small", 3, 0.6, nullptr);
+  EXPECT_EQ(CatalogChecksum(small), CatalogChecksum(small_again));
+  EXPECT_NE(CatalogChecksum(small), CatalogChecksum(larger));
+}
+
+TEST(DatagenDeterminismTest, BitIdenticalAcrossThreadPoolSizes) {
+  // Scale 1.0 on tpch_sf1 makes lineitem 24000 rows = 3 chunks, so the pools
+  // genuinely interleave chunk tasks.
+  for (const char* instance : kProbeInstances) {
+    const Catalog reference = Generate(instance, 42, 1.0, nullptr);
+    const auto reference_sums = TableChecksums(reference);
+    for (const size_t pool_size : {1u, 4u, 8u}) {
+      ThreadPool pool(pool_size);
+      const Catalog parallel = Generate(instance, 42, 1.0, &pool);
+      EXPECT_EQ(TableChecksums(parallel), reference_sums)
+          << instance << " with " << pool_size << " threads";
+      EXPECT_EQ(CatalogChecksum(parallel), CatalogChecksum(reference))
+          << instance << " with " << pool_size << " threads";
+    }
+  }
+}
+
+TEST(DatagenDeterminismTest, StatsAreDeterministicToo) {
+  ThreadPool pool(4);
+  const Catalog a = Generate("financial_small", 11, 1.0, &pool);
+  const Catalog b = Generate("financial_small", 11, 1.0, nullptr);
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (size_t t = 0; t < a.num_tables(); ++t) {
+    EXPECT_EQ(a.table(t).stats(), b.table(t).stats()) << a.table(t).name();
+  }
+}
+
+}  // namespace
+}  // namespace t3

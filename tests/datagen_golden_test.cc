@@ -1,0 +1,70 @@
+// Golden-stats regression test: every one of the 21 instances is generated
+// at one small scale and its stats document (row counts, column types, null
+// counts, NDV, min/max, content checksums) must match the checked-in
+// data/instance_stats_golden.json byte for byte. Any change to the seeding
+// scheme, the distributions, a schema, or the stats code shows up as a
+// visible fixture diff; regenerate intentionally with `t3_datagen golden`.
+//
+// Labeled "slow" in tests/CMakeLists.txt: it generates all 21 instances.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/spec.h"
+#include "datagen/stats_json.h"
+#include "gtest/gtest.h"
+
+namespace t3 {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(T3_SOURCE_DIR) + "/data/instance_stats_golden.json";
+}
+
+TEST(DatagenGoldenTest, All21InstancesMatchCheckedInStats) {
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing fixture " << GoldenPath()
+                         << " (regenerate: t3_datagen golden > "
+                            "data/instance_stats_golden.json)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  const std::string actual = GoldenStatsJson(kGoldenSeed, kGoldenScale, nullptr);
+  if (actual == expected) return;
+
+  // Point at the first diverging line instead of dumping two ~60KB blobs.
+  const std::vector<std::string> expected_lines = Split(expected, '\n');
+  const std::vector<std::string> actual_lines = Split(actual, '\n');
+  size_t line = 0;
+  while (line < expected_lines.size() && line < actual_lines.size() &&
+         expected_lines[line] == actual_lines[line]) {
+    ++line;
+  }
+  FAIL() << "generated stats diverge from " << GoldenPath() << " at line "
+         << line + 1 << ":\n  fixture:   "
+         << (line < expected_lines.size() ? expected_lines[line] : "<eof>")
+         << "\n  generated: "
+         << (line < actual_lines.size() ? actual_lines[line] : "<eof>")
+         << "\nIf the generator change is intentional, regenerate with "
+            "`t3_datagen golden > data/instance_stats_golden.json`.";
+}
+
+TEST(DatagenGoldenTest, FixtureCoversEveryInstance) {
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string fixture = buffer.str();
+  EXPECT_EQ(AllInstances().size(), 21u);
+  for (const InstanceSpec& spec : AllInstances()) {
+    EXPECT_NE(fixture.find("\"" + spec.name + "\":"), std::string::npos)
+        << spec.name << " missing from golden fixture";
+  }
+}
+
+}  // namespace
+}  // namespace t3

@@ -1,0 +1,283 @@
+// t3_datagen — CLI for the 21-instance synthetic database generator.
+//
+//   t3_datagen list [--json]
+//   t3_datagen describe <instance> [--json]
+//   t3_datagen generate <instance> [--seed N] [--scale X] [--threads N] [--json]
+//   t3_datagen stats <instance> [--seed N] [--scale X] [--threads N] [--json]
+//   t3_datagen golden
+//
+// list      — instance names with family/scale/table counts.
+// describe  — the instance's schema (tables, columns, distributions).
+// generate  — generates the instance and prints per-table row counts and
+//             content checksums (the bit-determinism fingerprint).
+// stats     — generates and prints per-column statistics; with --json this is
+//             the same canonical document the golden test diffs.
+// golden    — emits data/instance_stats_golden.json's exact expected content
+//             (all instances, seed 42, scale 0.05); redirect to regenerate the
+//             fixture after an intentional generator change.
+//
+// Exit status: 0 success, 2 usage error or unknown instance.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "datagen/stats_json.h"
+#include "storage/checksum.h"
+
+namespace t3 {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: t3_datagen <command> [args]\n"
+      "  list [--json]\n"
+      "  describe <instance> [--json]\n"
+      "  generate <instance> [--seed N] [--scale X] [--threads N] [--json]\n"
+      "  stats <instance> [--seed N] [--scale X] [--threads N] [--json]\n"
+      "  golden\n");
+  return 2;
+}
+
+struct Args {
+  std::string command;
+  std::string instance;
+  uint64_t seed = 42;
+  double scale = 0.0;  // 0 = the instance's own scale.
+  size_t threads = 0;  // 0 = single-threaded.
+  bool json = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args->json = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args->seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      args->scale = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args->threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] != '-' && args->instance.empty()) {
+      args->instance = arg;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* DistName(const ColumnSpec& col) {
+  if (col.corr_base >= 0) return "correlated";
+  switch (col.dist) {
+    case DistKind::kSequential:
+      return "sequential";
+    case DistKind::kUniformInt:
+      return "uniform_int";
+    case DistKind::kUniformDouble:
+      return "uniform_double";
+    case DistKind::kNormal:
+      return "normal";
+    case DistKind::kZipf:
+      return "zipf";
+    case DistKind::kForeignKey:
+      return "fk";
+    case DistKind::kString:
+      return "string";
+    case DistKind::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+int RunList(const Args& args) {
+  if (args.json) std::printf("[\n");
+  const auto& instances = AllInstances();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const InstanceSpec& spec = instances[i];
+    uint64_t total_rows = 0;
+    for (const TableSpec& table : spec.tables) {
+      total_rows += ScaledRows(table.base_rows, spec.scale);
+    }
+    if (args.json) {
+      std::printf(
+          "  {\"name\": %s, \"family\": %s, \"scale\": %g, \"tables\": %zu, "
+          "\"rows\": %llu}%s\n",
+          JsonQuote(spec.name).c_str(), JsonQuote(spec.family).c_str(),
+          spec.scale, spec.tables.size(),
+          static_cast<unsigned long long>(total_rows),
+          i + 1 < instances.size() ? "," : "");
+    } else {
+      std::printf("%-16s family=%-9s scale=%-4g tables=%zu rows=%llu\n",
+                  spec.name.c_str(), spec.family.c_str(), spec.scale,
+                  spec.tables.size(), static_cast<unsigned long long>(total_rows));
+    }
+  }
+  if (args.json) std::printf("]\n");
+  return 0;
+}
+
+int RunDescribe(const InstanceSpec& spec, const Args& args) {
+  const double scale = args.scale > 0.0 ? args.scale : spec.scale;
+  if (args.json) {
+    std::printf("{\n  \"name\": %s,\n  \"family\": %s,\n  \"scale\": %g,\n"
+                "  \"tables\": [\n",
+                JsonQuote(spec.name).c_str(), JsonQuote(spec.family).c_str(),
+                scale);
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      const TableSpec& table = spec.tables[t];
+      std::printf("    {\"name\": %s, \"rows\": %llu, \"columns\": [\n",
+                  JsonQuote(table.name).c_str(),
+                  static_cast<unsigned long long>(
+                      ScaledRows(table.base_rows, scale)));
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        const ColumnSpec& col = table.columns[c];
+        std::printf("      {\"name\": %s, \"type\": %s, \"dist\": %s, "
+                    "\"null_fraction\": %g}%s\n",
+                    JsonQuote(col.name).c_str(),
+                    JsonQuote(ColumnTypeName(col.type)).c_str(),
+                    JsonQuote(DistName(col)).c_str(), col.null_fraction,
+                    c + 1 < table.columns.size() ? "," : "");
+      }
+      std::printf("    ]}%s\n", t + 1 < spec.tables.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+  std::printf("%s (family %s, scale %g)\n", spec.name.c_str(),
+              spec.family.c_str(), scale);
+  for (const TableSpec& table : spec.tables) {
+    std::printf("  %s (%llu rows)\n", table.name.c_str(),
+                static_cast<unsigned long long>(
+                    ScaledRows(table.base_rows, scale)));
+    for (const ColumnSpec& col : table.columns) {
+      std::printf("    %-14s %-8s %-14s", col.name.c_str(),
+                  ColumnTypeName(col.type), DistName(col));
+      if (col.dist == DistKind::kForeignKey) {
+        std::printf(" -> %s", col.fk_table.c_str());
+      }
+      if (col.null_fraction > 0.0) std::printf(" nulls=%g", col.null_fraction);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int RunGenerate(const InstanceSpec& spec, const Args& args, bool with_stats) {
+  std::unique_ptr<ThreadPool> pool;
+  if (args.threads > 0) pool = std::make_unique<ThreadPool>(args.threads);
+  DatagenOptions options;
+  options.seed = args.seed;
+  options.scale_override = args.scale;
+  options.pool = pool.get();
+  Result<Catalog> catalog = GenerateInstance(spec, options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "t3_datagen: %s\n", catalog.status().ToString().c_str());
+    return 2;
+  }
+  if (with_stats) {
+    if (args.json) {
+      std::printf("%s\n", CatalogStatsJson(*catalog, "").c_str());
+      return 0;
+    }
+    for (size_t t = 0; t < catalog->num_tables(); ++t) {
+      const Table& table = catalog->table(t);
+      std::printf("%s (%zu rows)\n", table.name().c_str(), table.num_rows());
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        const Column& column = table.column(c);
+        const ColumnStats& stats = table.stats()[c];
+        std::string range = "all-null";
+        if (stats.has_range) {
+          switch (column.type()) {
+            case ColumnType::kInt64:
+              range = StrFormat("[%lld, %lld]",
+                                static_cast<long long>(stats.min_i64),
+                                static_cast<long long>(stats.max_i64));
+              break;
+            case ColumnType::kFloat64:
+              range = StrFormat("[%g, %g]", stats.min_f64, stats.max_f64);
+              break;
+            case ColumnType::kDate:
+              range = "[" + FormatDate(stats.min_i64) + ", " +
+                      FormatDate(stats.max_i64) + "]";
+              break;
+            case ColumnType::kString:
+              range = "[" + stats.min_str.substr(0, 16) + ", " +
+                      stats.max_str.substr(0, 16) + "]";
+              break;
+          }
+        }
+        std::printf("  %-14s %-8s ndv%s%llu nulls=%llu %s\n",
+                    column.name().c_str(), ColumnTypeName(column.type()),
+                    stats.ndv_exact ? "=" : "~",
+                    static_cast<unsigned long long>(stats.ndv),
+                    static_cast<unsigned long long>(stats.null_count),
+                    range.c_str());
+      }
+    }
+    return 0;
+  }
+  if (args.json) {
+    std::printf("{\n  \"instance\": %s,\n  \"checksum\": \"%016llx\",\n"
+                "  \"tables\": [\n",
+                JsonQuote(spec.name).c_str(),
+                static_cast<unsigned long long>(CatalogChecksum(*catalog)));
+    for (size_t t = 0; t < catalog->num_tables(); ++t) {
+      const Table& table = catalog->table(t);
+      std::printf("    {\"name\": %s, \"rows\": %zu, \"checksum\": "
+                  "\"%016llx\"}%s\n",
+                  JsonQuote(table.name()).c_str(), table.num_rows(),
+                  static_cast<unsigned long long>(TableChecksum(table)),
+                  t + 1 < catalog->num_tables() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+  for (size_t t = 0; t < catalog->num_tables(); ++t) {
+    const Table& table = catalog->table(t);
+    std::printf("%-18s %8zu rows  checksum %016llx\n", table.name().c_str(),
+                table.num_rows(),
+                static_cast<unsigned long long>(TableChecksum(table)));
+  }
+  std::printf("%-18s %8s       checksum %016llx\n", "(catalog)", "",
+              static_cast<unsigned long long>(CatalogChecksum(*catalog)));
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "list") return RunList(args);
+  if (args.command == "golden") {
+    std::fputs(GoldenStatsJson(kGoldenSeed, kGoldenScale, nullptr).c_str(),
+               stdout);
+    return 0;
+  }
+  if (args.command != "describe" && args.command != "generate" &&
+      args.command != "stats") {
+    return Usage();
+  }
+  if (args.instance.empty()) return Usage();
+  Result<const InstanceSpec*> spec = FindInstance(args.instance);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "t3_datagen: %s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  if (args.command == "describe") return RunDescribe(**spec, args);
+  return RunGenerate(**spec, args, args.command == "stats");
+}
+
+}  // namespace
+}  // namespace t3
+
+int main(int argc, char** argv) { return t3::Run(argc, argv); }
