@@ -16,15 +16,15 @@ void Run() {
   std::vector<double> deviations;
   deviations.reserve(corpus.records.size());
   for (const QueryRecord& record : corpus.records) {
-    if (record.run_seconds.size() < 3) continue;
-    const double median = Median(record.run_seconds);
+    if (record.total_run_seconds.size() < 3) continue;
+    const double median = Median(record.total_run_seconds);
     // Sort runs by distance (in q-error) from the median; keep 2/3.
     std::vector<double> qerrors;
-    for (double run : record.run_seconds) {
+    for (double run : record.total_run_seconds) {
       qerrors.push_back(QError(run, median));
     }
     std::sort(qerrors.begin(), qerrors.end());
-    const size_t keep = (record.run_seconds.size() * 2 + 2) / 3;
+    const size_t keep = (record.total_run_seconds.size() * 2 + 2) / 3;
     deviations.push_back(qerrors[keep - 1]);
   }
   const QErrorSummary summary = SummarizeQErrors(deviations);

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 
 #include "common/check.h"
 
 namespace t3 {
 
 double Mean(const std::vector<double>& values) {
-  T3_CHECK(!values.empty());
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   double sum = 0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());
@@ -24,8 +25,8 @@ double Stddev(const std::vector<double>& values) {
 }
 
 double Quantile(std::vector<double> values, double q) {
-  T3_CHECK(!values.empty());
   T3_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(pos);

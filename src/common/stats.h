@@ -5,7 +5,10 @@
 
 namespace t3 {
 
-/// Arithmetic mean. Requires a non-empty input.
+/// Arithmetic mean; quiet NaN for an empty input. These functions take
+/// untrusted, possibly-empty data (parsed corpora, filtered run lists), so
+/// an empty input is a data condition, not a programming error: callers
+/// check std::isnan (or guard emptiness themselves) instead of aborting.
 double Mean(const std::vector<double>& values);
 
 /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
@@ -13,11 +16,12 @@ double Stddev(const std::vector<double>& values);
 
 /// Quantile q in [0, 1] with linear interpolation between order statistics
 /// (the same convention as numpy's default). Takes its argument by value
-/// because it sorts a copy. Requires a non-empty input.
+/// because it sorts a copy. Quiet NaN for an empty input; q outside [0, 1]
+/// is a programming error and still T3_CHECKs.
 double Quantile(std::vector<double> values, double q);
 
 /// Median == Quantile(values, 0.5): mean of the two middle order statistics
-/// for even-sized inputs.
+/// for even-sized inputs. Quiet NaN for an empty input.
 double Median(std::vector<double> values);
 
 }  // namespace t3

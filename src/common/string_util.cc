@@ -1,8 +1,10 @@
 #include "common/string_util.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace t3 {
 
@@ -51,6 +53,44 @@ std::string_view StripAsciiWhitespace(std::string_view text) {
     text.remove_suffix(1);
   }
   return text;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strto* needs NUL termination; CLI args and corpus tokens are short, so
+  // the copy is cheap.
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.front() == '-') return false;
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
 }
 
 std::string FormatDuration(double nanos) {

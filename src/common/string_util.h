@@ -1,6 +1,7 @@
 #ifndef T3_COMMON_STRING_UTIL_H_
 #define T3_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,16 @@ std::string_view StripAsciiWhitespace(std::string_view text);
 /// Human-readable duration from nanoseconds: "812ns", "4.20us", "1.35ms",
 /// "2.10s". The unit is chosen so the mantissa is < 1000.
 std::string FormatDuration(double nanos);
+
+/// Strict whole-string numeric parsing for untrusted text (CLI arguments,
+/// corpus files). The entire text must be consumed — empty strings, trailing
+/// characters, and out-of-range values fail — and ParseDouble additionally
+/// rejects non-finite results ("inf", "nan", overflow). On failure, returns
+/// false and leaves *out untouched.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+/// Rejects negative input outright ("-1" fails rather than wrapping).
+bool ParseUint64(std::string_view text, uint64_t* out);
 
 }  // namespace t3
 

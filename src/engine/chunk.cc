@@ -1,0 +1,49 @@
+#include "engine/chunk.h"
+
+namespace t3 {
+
+void ColumnVector::AppendNull() {
+  switch (type) {
+    case ColumnType::kInt64:
+    case ColumnType::kDate:
+      i64.push_back(0);
+      break;
+    case ColumnType::kFloat64:
+      f64.push_back(0.0);
+      break;
+    case ColumnType::kString:
+      str.emplace_back();
+      break;
+  }
+  null.push_back(1);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& source, size_t row) {
+  T3_CHECK(source.type == type);
+  if (source.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type) {
+    case ColumnType::kInt64:
+    case ColumnType::kDate:
+      AppendInt64(source.i64[row]);
+      break;
+    case ColumnType::kFloat64:
+      AppendFloat64(source.f64[row]);
+      break;
+    case ColumnType::kString:
+      AppendString(source.str[row]);
+      break;
+  }
+}
+
+void DataChunk::AppendRowFrom(const DataChunk& source, size_t row) {
+  T3_CHECK(source.columns.size() == columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].AppendFrom(source.columns[c], row);
+  }
+  ++num_rows;
+}
+
+}  // namespace t3

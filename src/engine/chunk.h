@@ -1,0 +1,91 @@
+#ifndef T3_ENGINE_CHUNK_H_
+#define T3_ENGINE_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "storage/types.h"
+
+namespace t3 {
+
+/// Rows per morsel pushed through a pipeline. Join probes may emit more
+/// rows than this per input morsel; chunks grow as needed.
+inline constexpr size_t kMorselRows = 1024;
+
+/// One column of an in-flight chunk: a typed value buffer plus a byte-per-
+/// row null flag (1 = NULL; the value slot is a zero/empty placeholder).
+/// Unlike storage Columns these are small, transient, and append-only.
+struct ColumnVector {
+  ColumnType type = ColumnType::kInt64;
+  std::vector<int64_t> i64;        // kInt64, kDate
+  std::vector<double> f64;         // kFloat64
+  std::vector<std::string> str;    // kString
+  std::vector<uint8_t> null;
+
+  explicit ColumnVector(ColumnType t = ColumnType::kInt64) : type(t) {}
+
+  size_t size() const { return null.size(); }
+
+  void Clear() {
+    i64.clear();
+    f64.clear();
+    str.clear();
+    null.clear();
+  }
+
+  void AppendInt64(int64_t value) {
+    T3_CHECK(IsIntegerBacked(type));
+    i64.push_back(value);
+    null.push_back(0);
+  }
+  void AppendFloat64(double value) {
+    T3_CHECK(type == ColumnType::kFloat64);
+    f64.push_back(value);
+    null.push_back(0);
+  }
+  void AppendString(std::string value) {
+    T3_CHECK(type == ColumnType::kString);
+    str.push_back(std::move(value));
+    null.push_back(0);
+  }
+  void AppendNull();
+
+  /// Copies row `row` of `source` (same type) onto the end of this vector.
+  void AppendFrom(const ColumnVector& source, size_t row);
+
+  bool IsNull(size_t row) const { return null[row] != 0; }
+
+  /// Numeric view for predicates and sort keys: int64/date values cast to
+  /// double. Must not be called on string columns or NULL rows.
+  double NumericAt(size_t row) const {
+    return type == ColumnType::kFloat64 ? f64[row]
+                                        : static_cast<double>(i64[row]);
+  }
+};
+
+/// A batch of rows flowing through a pipeline: equally sized column
+/// vectors. Also used (with unbounded size) to materialize breaker state
+/// and the final query result.
+struct DataChunk {
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+
+  explicit DataChunk(const std::vector<ColumnType>& schema = {}) {
+    columns.reserve(schema.size());
+    for (ColumnType type : schema) columns.emplace_back(type);
+  }
+
+  void Clear() {
+    for (ColumnVector& column : columns) column.Clear();
+    num_rows = 0;
+  }
+
+  /// Copies row `row` of `source` (same schema) onto the end of this chunk.
+  void AppendRowFrom(const DataChunk& source, size_t row);
+};
+
+}  // namespace t3
+
+#endif  // T3_ENGINE_CHUNK_H_

@@ -1,0 +1,644 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace t3 {
+namespace {
+
+/// Join/group key of one row: [null0, value0, null1, value1, ...] over the
+/// integer-backed key columns. NULL slots keep a zero value so two NULL
+/// keys compare equal for grouping (NULLs form their own group; joins skip
+/// NULL keys before keys are ever compared).
+using KeyTuple = std::vector<int64_t>;
+
+struct KeyTupleHash {
+  size_t operator()(const KeyTuple& key) const {
+    Fnv1a fnv;
+    for (int64_t v : key) fnv.U64(static_cast<uint64_t>(v));
+    return static_cast<size_t>(fnv.hash());
+  }
+};
+
+/// Fills `key` from `row` of `chunk`; false when any key column is NULL.
+bool ExtractKey(const DataChunk& chunk, const std::vector<int>& key_columns,
+                size_t row, KeyTuple* key) {
+  key->clear();
+  bool any_null = false;
+  for (int column : key_columns) {
+    const ColumnVector& values = chunk.columns[static_cast<size_t>(column)];
+    const bool is_null = values.IsNull(row);
+    any_null |= is_null;
+    key->push_back(is_null ? 1 : 0);
+    key->push_back(is_null ? 0 : values.i64[row]);
+  }
+  return !any_null;
+}
+
+uint64_t HashKey(const KeyTuple& key) {
+  Fnv1a fnv;
+  for (int64_t v : key) fnv.U64(static_cast<uint64_t>(v));
+  return fnv.hash();
+}
+
+/// Chained hash table over the materialized build side of a join. Chains
+/// are threaded so probing emits matches in ascending build-row order —
+/// execution stays deterministic and matches the scalar reference.
+struct JoinHashTable {
+  DataChunk rows;                 // Materialized build-side output.
+  std::vector<int> key_columns;   // Build key columns within `rows`.
+  std::vector<uint32_t> heads;    // bucket -> row index + 1 (0 = empty).
+  std::vector<uint32_t> next;     // row -> next row in bucket + 1.
+  uint64_t mask = 0;
+
+  void Finish() {
+    size_t buckets = 16;
+    while (buckets < rows.num_rows * 2) buckets *= 2;
+    mask = buckets - 1;
+    heads.assign(buckets, 0);
+    next.assign(rows.num_rows, 0);
+    KeyTuple key;
+    // Reverse insertion + head chaining = forward emission order.
+    for (size_t r = rows.num_rows; r-- > 0;) {
+      if (!ExtractKey(rows, key_columns, r, &key)) continue;
+      const size_t bucket = HashKey(key) & mask;
+      next[r] = heads[bucket];
+      heads[bucket] = static_cast<uint32_t>(r) + 1;
+    }
+  }
+};
+
+/// One aggregate accumulator (one group x one AggregateSpec).
+struct Accumulator {
+  uint64_t count = 0;
+  double sum = 0.0;
+  bool has_value = false;
+  int64_t min_max_i64 = 0;
+  double min_max_f64 = 0.0;
+  std::string min_max_str;
+};
+
+struct AggregationState {
+  std::unordered_map<KeyTuple, size_t, KeyTupleHash> group_index;
+  std::vector<KeyTuple> group_keys;            // Insertion order.
+  std::vector<std::vector<Accumulator>> accs;  // [group][aggregate].
+};
+
+struct NodeState {
+  std::unique_ptr<JoinHashTable> join;
+  std::unique_ptr<AggregationState> agg;
+  std::unique_ptr<DataChunk> sort_buffer;
+  /// Breaker output (aggregate/sort), scanned by the consumer pipeline.
+  std::unique_ptr<DataChunk> materialized;
+};
+
+/// Reads morsels out of a base table or a materialized chunk.
+class Source {
+ public:
+  Source(const Table* table, const std::vector<int>* columns,
+         const DataChunk* chunk, const std::vector<ColumnType>* schema)
+      : table_(table), columns_(columns), chunk_(chunk), schema_(schema) {}
+
+  size_t total_rows() const {
+    return table_ != nullptr ? table_->num_rows() : chunk_->num_rows;
+  }
+
+  /// Fills `out` with the next morsel; false at end of input.
+  bool Next(DataChunk* out) {
+    const size_t total = total_rows();
+    if (offset_ >= total) return false;
+    const size_t end = std::min(total, offset_ + kMorselRows);
+    *out = DataChunk(*schema_);
+    if (table_ != nullptr) {
+      for (size_t c = 0; c < columns_->size(); ++c) {
+        const Column& column =
+            table_->column(static_cast<size_t>((*columns_)[c]));
+        ColumnVector& values = out->columns[c];
+        for (size_t r = offset_; r < end; ++r) {
+          if (column.IsNull(r)) {
+            values.AppendNull();
+            continue;
+          }
+          switch (column.type()) {
+            case ColumnType::kInt64:
+            case ColumnType::kDate:
+              values.AppendInt64(column.Int64At(r));
+              break;
+            case ColumnType::kFloat64:
+              values.AppendFloat64(column.Float64At(r));
+              break;
+            case ColumnType::kString:
+              values.AppendString(column.StringAt(r));
+              break;
+          }
+        }
+      }
+    } else {
+      for (size_t r = offset_; r < end; ++r) out->AppendRowFrom(*chunk_, r);
+    }
+    out->num_rows = end - offset_;
+    offset_ = end;
+    return true;
+  }
+
+ private:
+  const Table* table_;
+  const std::vector<int>* columns_;
+  const DataChunk* chunk_;
+  const std::vector<ColumnType>* schema_;
+  size_t offset_ = 0;
+};
+
+bool PredicatePasses(double value, const FilterPredicate& predicate) {
+  switch (predicate.cmp) {
+    case CompareOp::kLt:
+      return value < predicate.constant;
+    case CompareOp::kLe:
+      return value <= predicate.constant;
+    case CompareOp::kGt:
+      return value > predicate.constant;
+    case CompareOp::kGe:
+      return value >= predicate.constant;
+    case CompareOp::kEq:
+      return value == predicate.constant;
+    case CompareOp::kNe:
+      return value != predicate.constant;
+  }
+  return false;
+}
+
+/// Execution of one plan; holds all per-query state.
+class Run {
+ public:
+  Run(const Catalog& catalog, const PhysicalPlan& plan,
+      std::vector<std::vector<ColumnType>> schemas,
+      PipelineDecomposition decomposition)
+      : catalog_(catalog),
+        plan_(plan),
+        schemas_(std::move(schemas)),
+        decomposition_(std::move(decomposition)),
+        states_(plan.nodes.size()) {
+    ea_.operators.resize(plan.nodes.size());
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      ea_.operators[i].op = plan.nodes[i].op;
+    }
+  }
+
+  Result<ExplainAnalyze> Execute() {
+    for (const Pipeline& pipeline : decomposition_.pipelines) {
+      Status status = RunPipeline(pipeline);
+      if (!status.ok()) return status;
+    }
+    return std::move(ea_);
+  }
+
+ private:
+  const PlanNode& Node(int id) const {
+    return plan_.nodes[static_cast<size_t>(id)];
+  }
+  const std::vector<ColumnType>& Schema(int id) const {
+    return schemas_[static_cast<size_t>(id)];
+  }
+  NodeState& State(int id) { return states_[static_cast<size_t>(id)]; }
+  OperatorStats& Stats(int id) {
+    return ea_.operators[static_cast<size_t>(id)];
+  }
+
+  Status RunPipeline(const Pipeline& pipeline) {
+    Stopwatch timer;
+    PipelineStats stats;
+    stats.pipeline = pipeline.id;
+    stats.driving_cardinality = pipeline.driving_cardinality;
+    stats.nodes = pipeline.nodes;
+
+    // The source: a table scan, or a breaker's materialized output.
+    const int source_id = pipeline.source();
+    const PlanNode& source_node = Node(source_id);
+    const Table* table = nullptr;
+    const DataChunk* materialized = nullptr;
+    if (source_node.op == PlanOp::kScan) {
+      Result<const Table*> found = catalog_.FindTable(source_node.table);
+      if (!found.ok()) return found.status();
+      table = *found;
+    } else {
+      materialized = State(source_id).materialized.get();
+      T3_CHECK(materialized != nullptr);  // Topological pipeline order.
+    }
+    Source source(table, &source_node.columns, materialized,
+                  &Schema(source_id));
+
+    const int sink_id = pipeline.sink();
+    InitSink(pipeline, sink_id);
+
+    // Reset per-pipeline limit counters.
+    for (int id : pipeline.nodes) {
+      if (Node(id).op == PlanOp::kLimit) {
+        limit_remaining_[id] = Node(id).limit;
+      }
+    }
+
+    DataChunk chunk;
+    bool stop = false;
+    while (!stop && source.Next(&chunk)) {
+      ++stats.morsels;
+      stats.source_rows += chunk.num_rows;
+      if (source_node.op == PlanOp::kScan) {
+        Stats(source_id).rows_in += chunk.num_rows;
+        Stats(source_id).rows_out += chunk.num_rows;
+      }
+      // Stream through the chain; the last node is the sink. A limit that
+      // exhausts mid-chain sets `stop` but its truncated chunk still flows
+      // on to the sink before the morsel loop ends.
+      for (size_t n = 1; n < pipeline.nodes.size(); ++n) {
+        const int id = pipeline.nodes[n];
+        const bool is_sink = n + 1 == pipeline.nodes.size();
+        if (is_sink) {
+          AbsorbIntoSink(pipeline, id, chunk);
+          break;
+        }
+        Status status = Transform(id, &chunk, &stop);
+        if (!status.ok()) return status;
+        if (chunk.num_rows == 0) break;  // Nothing left for this morsel.
+      }
+    }
+
+    Status status = FinishSink(pipeline, sink_id);
+    if (!status.ok()) return status;
+    stats.seconds = timer.ElapsedSeconds();
+    ea_.pipelines.push_back(std::move(stats));
+    return Status::OK();
+  }
+
+  void InitSink(const Pipeline& pipeline, int sink_id) {
+    const PlanNode& sink = Node(sink_id);
+    NodeState& state = State(sink_id);
+    if (pipeline.builds_hash_table) {
+      state.join = std::make_unique<JoinHashTable>();
+      state.join->rows = DataChunk(Schema(sink.right));
+      state.join->key_columns = sink.right_keys;
+    } else if (sink.op == PlanOp::kHashAggregate) {
+      state.agg = std::make_unique<AggregationState>();
+    } else if (sink.op == PlanOp::kSort) {
+      state.sort_buffer = std::make_unique<DataChunk>(Schema(sink_id));
+    } else if (sink.op == PlanOp::kOutput &&
+               ea_.result.columns.empty()) {
+      ea_.result = DataChunk(Schema(sink_id));
+    }
+  }
+
+  void AbsorbIntoSink(const Pipeline& pipeline, int sink_id,
+                      const DataChunk& chunk) {
+    const PlanNode& sink = Node(sink_id);
+    OperatorStats& stats = Stats(sink_id);
+    stats.rows_in += chunk.num_rows;
+    if (pipeline.builds_hash_table) {
+      DataChunk& rows = State(sink_id).join->rows;
+      for (size_t r = 0; r < chunk.num_rows; ++r) {
+        rows.AppendRowFrom(chunk, r);
+      }
+      return;
+    }
+    switch (sink.op) {
+      case PlanOp::kHashAggregate:
+        AccumulateGroups(sink_id, chunk);
+        break;
+      case PlanOp::kSort: {
+        DataChunk& buffer = *State(sink_id).sort_buffer;
+        for (size_t r = 0; r < chunk.num_rows; ++r) {
+          buffer.AppendRowFrom(chunk, r);
+        }
+        break;
+      }
+      case PlanOp::kOutput:
+        for (size_t r = 0; r < chunk.num_rows; ++r) {
+          ea_.result.AppendRowFrom(chunk, r);
+        }
+        stats.rows_out += chunk.num_rows;
+        break;
+      default:
+        T3_CHECK(false);  // Decomposition only ends pipelines at sinks.
+    }
+  }
+
+  Status FinishSink(const Pipeline& pipeline, int sink_id) {
+    const PlanNode& sink = Node(sink_id);
+    if (pipeline.builds_hash_table) {
+      State(sink_id).join->Finish();
+      return Status::OK();
+    }
+    if (sink.op == PlanOp::kHashAggregate) {
+      MaterializeGroups(sink_id);
+      Stats(sink_id).rows_out = State(sink_id).materialized->num_rows;
+      return Status::OK();
+    }
+    if (sink.op == PlanOp::kSort) {
+      MaterializeSorted(sink_id);
+      Stats(sink_id).rows_out = State(sink_id).materialized->num_rows;
+      return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  /// Applies a streaming operator in place. Sets `stop` when a limit is
+  /// exhausted (the pipeline stops fetching morsels).
+  Status Transform(int id, DataChunk* chunk, bool* stop) {
+    const PlanNode& node = Node(id);
+    OperatorStats& stats = Stats(id);
+    stats.rows_in += chunk->num_rows;
+    switch (node.op) {
+      case PlanOp::kFilter: {
+        DataChunk out(Schema(id));
+        for (size_t r = 0; r < chunk->num_rows; ++r) {
+          bool pass = true;
+          for (const FilterPredicate& predicate : node.predicates) {
+            const ColumnVector& values =
+                chunk->columns[static_cast<size_t>(predicate.column)];
+            if (values.IsNull(r) ||
+                !PredicatePasses(values.NumericAt(r), predicate)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) out.AppendRowFrom(*chunk, r);
+        }
+        *chunk = std::move(out);
+        break;
+      }
+      case PlanOp::kProject: {
+        DataChunk out(Schema(id));
+        for (size_t c = 0; c < node.columns.size(); ++c) {
+          out.columns[c] =
+              chunk->columns[static_cast<size_t>(node.columns[c])];
+        }
+        out.num_rows = chunk->num_rows;
+        *chunk = std::move(out);
+        break;
+      }
+      case PlanOp::kHashJoin: {
+        const JoinHashTable& join = *State(id).join;
+        DataChunk out(Schema(id));
+        KeyTuple probe_key;
+        KeyTuple build_key;
+        for (size_t r = 0; r < chunk->num_rows; ++r) {
+          if (!ExtractKey(*chunk, node.left_keys, r, &probe_key)) continue;
+          const size_t bucket = HashKey(probe_key) & join.mask;
+          for (uint32_t slot = join.heads[bucket]; slot != 0;
+               slot = join.next[slot - 1]) {
+            const size_t build_row = slot - 1;
+            ExtractKey(join.rows, join.key_columns, build_row, &build_key);
+            if (build_key != probe_key) continue;
+            // Emit probe columns then build columns.
+            for (size_t c = 0; c < chunk->columns.size(); ++c) {
+              out.columns[c].AppendFrom(chunk->columns[c], r);
+            }
+            for (size_t c = 0; c < join.rows.columns.size(); ++c) {
+              out.columns[chunk->columns.size() + c].AppendFrom(
+                  join.rows.columns[c], build_row);
+            }
+            ++out.num_rows;
+          }
+        }
+        *chunk = std::move(out);
+        break;
+      }
+      case PlanOp::kLimit: {
+        int64_t& remaining = limit_remaining_[id];
+        const int64_t rows = static_cast<int64_t>(chunk->num_rows);
+        if (rows >= remaining) {
+          DataChunk out(Schema(id));
+          for (int64_t r = 0; r < remaining; ++r) {
+            out.AppendRowFrom(*chunk, static_cast<size_t>(r));
+          }
+          *chunk = std::move(out);
+          remaining = 0;
+          *stop = true;
+        } else {
+          remaining -= rows;
+        }
+        break;
+      }
+      default:
+        return InternalError(
+            StrFormat("node %d (%s) is not a streaming operator", id,
+                      PlanOpName(node.op)));
+    }
+    stats.rows_out += chunk->num_rows;
+    return Status::OK();
+  }
+
+  void AccumulateGroups(int id, const DataChunk& chunk) {
+    const PlanNode& node = Node(id);
+    AggregationState& agg = *State(id).agg;
+    KeyTuple key;
+    for (size_t r = 0; r < chunk.num_rows; ++r) {
+      ExtractKey(chunk, node.group_by, r, &key);  // NULLs group together.
+      auto [it, inserted] = agg.group_index.try_emplace(key,
+                                                        agg.group_keys.size());
+      if (inserted) {
+        agg.group_keys.push_back(key);
+        agg.accs.emplace_back(node.aggregates.size());
+      }
+      std::vector<Accumulator>& accs = agg.accs[it->second];
+      for (size_t a = 0; a < node.aggregates.size(); ++a) {
+        UpdateAccumulator(node.aggregates[a], chunk, r, &accs[a]);
+      }
+    }
+  }
+
+  static void UpdateAccumulator(const AggregateSpec& spec,
+                                const DataChunk& chunk, size_t row,
+                                Accumulator* acc) {
+    if (spec.fn == AggFunc::kCountStar) {
+      ++acc->count;
+      return;
+    }
+    const ColumnVector& values =
+        chunk.columns[static_cast<size_t>(spec.column)];
+    if (values.IsNull(row)) return;  // NULL inputs are skipped.
+    switch (spec.fn) {
+      case AggFunc::kCount:
+        ++acc->count;
+        break;
+      case AggFunc::kSum:
+        acc->sum += values.NumericAt(row);
+        acc->has_value = true;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const bool want_min = spec.fn == AggFunc::kMin;
+        if (values.type == ColumnType::kString) {
+          const std::string& v = values.str[row];
+          if (!acc->has_value || (want_min ? v < acc->min_max_str
+                                           : v > acc->min_max_str)) {
+            acc->min_max_str = v;
+          }
+        } else if (values.type == ColumnType::kFloat64) {
+          const double v = values.f64[row];
+          if (!acc->has_value || (want_min ? v < acc->min_max_f64
+                                           : v > acc->min_max_f64)) {
+            acc->min_max_f64 = v;
+          }
+        } else {
+          const int64_t v = values.i64[row];
+          if (!acc->has_value || (want_min ? v < acc->min_max_i64
+                                           : v > acc->min_max_i64)) {
+            acc->min_max_i64 = v;
+          }
+        }
+        acc->has_value = true;
+        break;
+      }
+      case AggFunc::kCountStar:
+        break;
+    }
+  }
+
+  void MaterializeGroups(int id) {
+    const PlanNode& node = Node(id);
+    AggregationState& agg = *State(id).agg;
+    // Global aggregation produces its single group even on empty input.
+    if (node.group_by.empty() && agg.group_keys.empty()) {
+      agg.group_keys.emplace_back();
+      agg.accs.emplace_back(node.aggregates.size());
+    }
+    auto out = std::make_unique<DataChunk>(Schema(id));
+    for (size_t g = 0; g < agg.group_keys.size(); ++g) {
+      const KeyTuple& key = agg.group_keys[g];
+      for (size_t k = 0; k < node.group_by.size(); ++k) {
+        ColumnVector& column = out->columns[k];
+        if (key[2 * k] != 0) {
+          column.AppendNull();
+        } else {
+          column.AppendInt64(key[2 * k + 1]);
+        }
+      }
+      for (size_t a = 0; a < node.aggregates.size(); ++a) {
+        const AggregateSpec& spec = node.aggregates[a];
+        const Accumulator& acc = agg.accs[g][a];
+        ColumnVector& column = out->columns[node.group_by.size() + a];
+        switch (spec.fn) {
+          case AggFunc::kCountStar:
+          case AggFunc::kCount:
+            column.AppendInt64(static_cast<int64_t>(acc.count));
+            break;
+          case AggFunc::kSum:
+            if (acc.has_value) {
+              column.AppendFloat64(acc.sum);
+            } else {
+              column.AppendNull();
+            }
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            if (!acc.has_value) {
+              column.AppendNull();
+            } else if (column.type == ColumnType::kString) {
+              column.AppendString(acc.min_max_str);
+            } else if (column.type == ColumnType::kFloat64) {
+              column.AppendFloat64(acc.min_max_f64);
+            } else {
+              column.AppendInt64(acc.min_max_i64);
+            }
+            break;
+        }
+      }
+      ++out->num_rows;
+    }
+    State(id).materialized = std::move(out);
+  }
+
+  void MaterializeSorted(int id) {
+    const PlanNode& node = Node(id);
+    DataChunk& buffer = *State(id).sort_buffer;
+    std::vector<size_t> order(buffer.num_rows);
+    for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+    std::stable_sort(
+        order.begin(), order.end(), [&](size_t a, size_t b) {
+          for (const SortKey& key : node.sort_keys) {
+            const ColumnVector& values =
+                buffer.columns[static_cast<size_t>(key.column)];
+            const int cmp = CompareRows(values, a, b);
+            if (cmp != 0) return key.ascending ? cmp < 0 : cmp > 0;
+          }
+          return false;
+        });
+    auto out = std::make_unique<DataChunk>(Schema(id));
+    for (size_t r : order) out->AppendRowFrom(buffer, r);
+    State(id).materialized = std::move(out);
+    State(id).sort_buffer.reset();
+  }
+
+  /// -1/0/1 three-way compare of two rows of one column; NULLs order after
+  /// every value (so they come last ascending, first descending).
+  static int CompareRows(const ColumnVector& values, size_t a, size_t b) {
+    const bool null_a = values.IsNull(a);
+    const bool null_b = values.IsNull(b);
+    if (null_a || null_b) return (null_a ? 1 : 0) - (null_b ? 1 : 0);
+    if (values.type == ColumnType::kString) {
+      return values.str[a].compare(values.str[b]) < 0
+                 ? -1
+                 : (values.str[a] == values.str[b] ? 0 : 1);
+    }
+    const double va = values.NumericAt(a);
+    const double vb = values.NumericAt(b);
+    if (va < vb) return -1;
+    return va == vb ? 0 : 1;
+  }
+
+  const Catalog& catalog_;
+  const PhysicalPlan& plan_;
+  std::vector<std::vector<ColumnType>> schemas_;
+  PipelineDecomposition decomposition_;
+  std::vector<NodeState> states_;
+  std::unordered_map<int, int64_t> limit_remaining_;
+  ExplainAnalyze ea_;
+};
+
+}  // namespace
+
+Result<ExplainAnalyze> Executor::Execute(const PhysicalPlan& plan) const {
+  Stopwatch total;
+  Result<std::vector<std::vector<ColumnType>>> schemas =
+      ResolvePlanSchemas(*catalog_, plan);
+  if (!schemas.ok()) return schemas.status();
+  Result<PipelineDecomposition> decomposition = DecomposePipelines(plan);
+  if (!decomposition.ok()) return decomposition.status();
+
+  Run run(*catalog_, plan, *std::move(schemas), *std::move(decomposition));
+  Result<ExplainAnalyze> result = run.Execute();
+  if (!result.ok()) return result;
+  result->total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+std::string ExplainAnalyze::ToString(const PhysicalPlan& plan) const {
+  std::string out = StrFormat("query: %s, %llu result rows\n",
+                              FormatDuration(total_seconds * 1e9).c_str(),
+                              static_cast<unsigned long long>(result_rows()));
+  for (const PipelineStats& stats : pipelines) {
+    out += StrFormat(
+        "pipeline %d: %s, driving=%.0f, source_rows=%llu, morsels=%llu |",
+        stats.pipeline, FormatDuration(stats.seconds * 1e9).c_str(),
+        stats.driving_cardinality,
+        static_cast<unsigned long long>(stats.source_rows),
+        static_cast<unsigned long long>(stats.morsels));
+    for (int id : stats.nodes) {
+      out += StrFormat(" %s#%d",
+                       PlanOpName(plan.nodes[static_cast<size_t>(id)].op), id);
+    }
+    out.push_back('\n');
+  }
+  for (size_t i = 0; i < operators.size(); ++i) {
+    out += StrFormat("  #%zu %-14s in=%llu out=%llu\n", i,
+                     PlanOpName(operators[i].op),
+                     static_cast<unsigned long long>(operators[i].rows_in),
+                     static_cast<unsigned long long>(operators[i].rows_out));
+  }
+  return out;
+}
+
+}  // namespace t3

@@ -1,5 +1,6 @@
 #include "harness/corpus.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +17,7 @@ namespace {
 struct Cursor {
   const char* pos;
   const char* end;
+  int line = 1;  ///< 1-based line of `pos`, for parse diagnostics.
 
   explicit Cursor(std::string_view text)
       : pos(text.data()), end(text.data() + text.size()) {}
@@ -24,7 +26,10 @@ struct Cursor {
     return c == ' ' || c == '\t' || c == '\n' || c == '\r';
   }
   void SkipSpace() {
-    while (pos != end && IsSpace(*pos)) ++pos;
+    while (pos != end && IsSpace(*pos)) {
+      if (*pos == '\n') ++line;
+      ++pos;
+    }
   }
   bool AtEnd() {
     SkipSpace();
@@ -36,11 +41,15 @@ struct Cursor {
     while (pos != end && !IsSpace(*pos) && *pos != ':') ++pos;
     return std::string_view(start, static_cast<size_t>(pos - start));
   }
+  /// Rejects non-finite values: measured seconds, cardinalities, widths and
+  /// features are all finite by construction, so "inf"/"nan"/overflow in a
+  /// corpus is corruption, and letting it through would poison every
+  /// statistic downstream (median of {1.0, nan} is nan).
   bool Double(double* out) {
     SkipSpace();
     char* after = nullptr;
     *out = std::strtod(pos, &after);
-    if (after == pos) return false;
+    if (after == pos || !std::isfinite(*out)) return false;
     pos = after;
     return true;
   }
@@ -61,6 +70,13 @@ struct Cursor {
   }
 };
 
+/// "corpus line 42: <what>" — every parse failure names the line it was
+/// detected on.
+Status ParseError(const Cursor& cursor, const char* what) {
+  return InvalidArgumentError(
+      StrFormat("corpus line %d: %s", cursor.line, what));
+}
+
 void AppendDouble(std::string* out, double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
@@ -73,7 +89,7 @@ Status ParsePipelineFeatures(Cursor* cursor, PipelineFeatures* features) {
   if (!cursor->Int(&pipeline) || !cursor->Double(&card) ||
       !cursor->Int(&dim) || !cursor->Int(&nnz) || dim <= 0 || nnz < 0 ||
       nnz > dim) {
-    return InvalidArgumentError("corpus: malformed feature line header");
+    return ParseError(*cursor, "malformed feature line header");
   }
   features->pipeline = static_cast<int>(pipeline);
   features->input_cardinality = card;
@@ -83,7 +99,7 @@ Status ParsePipelineFeatures(Cursor* cursor, PipelineFeatures* features) {
     double value = 0;
     if (!cursor->Int(&index) || !cursor->Literal(':') ||
         !cursor->Double(&value) || index < 0 || index >= dim) {
-      return InvalidArgumentError("corpus: malformed sparse feature pair");
+      return ParseError(*cursor, "malformed sparse feature pair");
     }
     features->values[static_cast<size_t>(index)] = value;
   }
@@ -121,7 +137,7 @@ Result<Corpus> ParseCorpus(std::string_view text) {
   int64_t num_records = 0;
   if (cursor.Token() != "records" || !cursor.Int(&num_records) ||
       num_records < 0) {
-    return InvalidArgumentError("corpus: bad record count");
+    return ParseError(cursor, "bad record count");
   }
 
   Corpus corpus;
@@ -129,8 +145,8 @@ Result<Corpus> ParseCorpus(std::string_view text) {
   for (int64_t rec = 0; rec < num_records; ++rec) {
     if (cursor.Token() != "R") {
       return InvalidArgumentError(
-          StrFormat("corpus record %lld: expected R line",
-                    static_cast<long long>(rec)));
+          StrFormat("corpus line %d: record %lld: expected R line",
+                    cursor.line, static_cast<long long>(rec)));
     }
     QueryRecord record;
     record.instance = std::string(cursor.Token());
@@ -142,8 +158,8 @@ Result<Corpus> ParseCorpus(std::string_view text) {
         !cursor.Int(&num_nodes) || !cursor.Double(&record.median_seconds) ||
         num_pipelines < 0 || runs < 0 || num_nodes < 0) {
       return InvalidArgumentError(
-          StrFormat("corpus record %lld: malformed R line",
-                    static_cast<long long>(rec)));
+          StrFormat("corpus line %d: record %lld: malformed R line",
+                    cursor.line, static_cast<long long>(rec)));
     }
     record.is_test = is_test != 0;
     record.scale_index = static_cast<int>(scale);
@@ -158,7 +174,7 @@ Result<Corpus> ParseCorpus(std::string_view text) {
           !cursor.Int(&right) || !cursor.Double(&node.cardinality) ||
           !cursor.Double(&node.extra) || !cursor.Double(&node.width) ||
           !cursor.Int(&stage)) {
-        return InvalidArgumentError("corpus: malformed N line");
+        return ParseError(cursor, "malformed N line");
       }
       node.op = static_cast<int>(op);
       node.left = static_cast<int>(left);
@@ -167,12 +183,12 @@ Result<Corpus> ParseCorpus(std::string_view text) {
     }
 
     if (cursor.Token() != "T") {
-      return InvalidArgumentError("corpus: expected T line");
+      return ParseError(cursor, "expected T line");
     }
     record.total_run_seconds.resize(static_cast<size_t>(runs));
     for (double& v : record.total_run_seconds) {
       if (!cursor.Double(&v)) {
-        return InvalidArgumentError("corpus: malformed T line");
+        return ParseError(cursor, "malformed T line");
       }
     }
 
@@ -185,22 +201,22 @@ Result<Corpus> ParseCorpus(std::string_view text) {
       int64_t pipeline = 0;
       if (cursor.Token() != "P" || !cursor.Int(&pipeline) ||
           !cursor.Double(&timing.median_seconds)) {
-        return InvalidArgumentError("corpus: malformed P line");
+        return ParseError(cursor, "malformed P line");
       }
       timing.pipeline = static_cast<int>(pipeline);
       timing.run_seconds.resize(static_cast<size_t>(runs));
       for (double& v : timing.run_seconds) {
         if (!cursor.Double(&v)) {
-          return InvalidArgumentError("corpus: malformed P run value");
+          return ParseError(cursor, "malformed P run value");
         }
       }
       if (cursor.Token() != "FT") {
-        return InvalidArgumentError("corpus: expected FT line");
+        return ParseError(cursor, "expected FT line");
       }
       Status status = ParsePipelineFeatures(&cursor, &record.feat_true[p]);
       if (!status.ok()) return status;
       if (cursor.Token() != "FE") {
-        return InvalidArgumentError("corpus: expected FE line");
+        return ParseError(cursor, "expected FE line");
       }
       status = ParsePipelineFeatures(&cursor, &record.feat_est[p]);
       if (!status.ok()) return status;
@@ -208,7 +224,7 @@ Result<Corpus> ParseCorpus(std::string_view text) {
     corpus.records.push_back(std::move(record));
   }
   if (!cursor.AtEnd()) {
-    return InvalidArgumentError("corpus: trailing data after last record");
+    return ParseError(cursor, "trailing data after last record");
   }
   return corpus;
 }

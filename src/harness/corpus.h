@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "plan/plan_record.h"
 
 namespace t3 {
 
@@ -30,18 +31,9 @@ struct PipelineTiming {
   std::vector<double> run_seconds;
 };
 
-/// One physical plan node ("N" lines). Field semantics beyond the operator
-/// linkage are provisional until src/plan is reconstructed; values are
-/// preserved verbatim so save -> load round-trips.
-struct PlanNodeRecord {
-  int op = 0;
-  int left = -1;
-  int right = -1;
-  double cardinality = 0.0;
-  double extra = 0.0;
-  double width = 0.0;
-  int stage = 0;
-};
+// PlanNodeRecord ("N" lines) now lives in plan/plan_record.h — the shared
+// schema between live plans (src/plan) and serialized corpora. Values are
+// preserved verbatim so save -> load round-trips.
 
 /// One benchmarked query of the corpus ("R" line + its attached lines).
 struct QueryRecord {

@@ -18,6 +18,8 @@ QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors) {
   summary.p50 = Quantile(q_errors, 0.5);
   summary.p90 = Quantile(q_errors, 0.9);
   summary.avg = Mean(q_errors);
+  summary.max = *std::max_element(q_errors.begin(), q_errors.end());
+  summary.count = q_errors.size();
   return summary;
 }
 

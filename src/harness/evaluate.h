@@ -1,6 +1,7 @@
 #ifndef T3_HARNESS_EVALUATE_H_
 #define T3_HARNESS_EVALUATE_H_
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -14,11 +15,14 @@ namespace t3 {
 double QError(double predicted_seconds, double actual_seconds);
 
 /// p50 / p90 / mean of a set of q-errors, the triple reported by every
-/// accuracy table in the paper.
+/// accuracy table in the paper, plus the count and worst case the deviation
+/// tables break out. All zero for an empty input.
 struct QErrorSummary {
   double p50 = 0.0;
   double p90 = 0.0;
   double avg = 0.0;
+  double max = 0.0;
+  size_t count = 0;
 };
 
 QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors);

@@ -1,6 +1,7 @@
 #include "harness/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -58,6 +59,34 @@ void ReportTable::Print() const {
   const std::string rendered = ToString();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
   std::fflush(stdout);
+}
+
+double LogHistogram::BucketLowerEdge(size_t b) const {
+  const double width = (log_hi - log_lo) / static_cast<double>(buckets.size());
+  return std::pow(10.0, log_lo + static_cast<double>(b) * width);
+}
+
+LogHistogram BuildLogHistogram(const std::vector<double>& values,
+                               double log_lo, double log_hi,
+                               size_t num_buckets) {
+  T3_CHECK(num_buckets > 0);
+  T3_CHECK(log_hi > log_lo);
+  LogHistogram hist;
+  hist.log_lo = log_lo;
+  hist.log_hi = log_hi;
+  hist.buckets.assign(num_buckets, 0);
+  const double width = (log_hi - log_lo) / static_cast<double>(num_buckets);
+  for (double value : values) {
+    size_t b = 0;
+    if (value > 0.0 && std::isfinite(value)) {
+      const double offset = (std::log10(value) - log_lo) / width;
+      if (offset >= 0.0) {
+        b = std::min(static_cast<size_t>(offset), num_buckets - 1);
+      }
+    }
+    ++hist.buckets[b];
+  }
+  return hist;
 }
 
 }  // namespace t3

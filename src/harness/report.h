@@ -1,6 +1,7 @@
 #ifndef T3_HARNESS_REPORT_H_
 #define T3_HARNESS_REPORT_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,25 @@ class ReportTable {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Counts bucketed uniformly in log10 space over [10^log_lo, 10^log_hi],
+/// the x-axis convention of the paper's runtime-distribution figures.
+struct LogHistogram {
+  double log_lo = 0.0;   ///< log10 of the first bucket's lower edge.
+  double log_hi = 0.0;   ///< log10 of the last bucket's upper edge.
+  std::vector<size_t> buckets;
+
+  /// Lower edge of bucket `b` in linear units.
+  double BucketLowerEdge(size_t b) const;
+};
+
+/// Histograms `values` into `num_buckets` log-uniform buckets. Values below
+/// the range clamp into the first bucket, above it into the last;
+/// non-positive and non-finite values are clamped too (log10 is undefined
+/// for them), so every value is counted exactly once.
+LogHistogram BuildLogHistogram(const std::vector<double>& values,
+                               double log_lo, double log_hi,
+                               size_t num_buckets);
 
 }  // namespace t3
 

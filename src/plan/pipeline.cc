@@ -1,0 +1,142 @@
+#include "plan/pipeline.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+/// Recursive splitter. Chains are built child-first; a chain is "open" while
+/// streaming operators keep extending it and is closed (assigned its final
+/// pipeline id) when it reaches a sink. Closing order yields the
+/// topological pipeline order for free: a join's build side closes before
+/// the probe chain continues, a breaker's input closes before the consumer
+/// chain above it starts.
+struct Splitter {
+  const PhysicalPlan& plan;
+  PipelineDecomposition* out;
+
+  const PlanNode& Node(int id) const {
+    return plan.nodes[static_cast<size_t>(id)];
+  }
+
+  void Assign(int node, int role) { out->node_pipeline[static_cast<size_t>(node)] = role; }
+
+  /// Closes `chain` as the next pipeline; returns its id.
+  int Close(std::vector<int> chain, double driving, bool builds_hash_table) {
+    Pipeline pipeline;
+    pipeline.id = static_cast<int>(out->pipelines.size());
+    pipeline.nodes = std::move(chain);
+    pipeline.driving_cardinality = driving;
+    pipeline.builds_hash_table = builds_hash_table;
+    out->pipelines.push_back(std::move(pipeline));
+    return out->pipelines.back().id;
+  }
+
+  /// Builds the open chain ending at `id`, streaming upward from its
+  /// source. `driving` receives the chain's driving cardinality.
+  std::vector<int> OpenChain(int id, double* driving) {
+    const PlanNode& node = Node(id);
+    switch (node.op) {
+      case PlanOp::kScan: {
+        *driving = node.cardinality;
+        return {id};
+      }
+      case PlanOp::kFilter:
+      case PlanOp::kProject:
+      case PlanOp::kLimit: {
+        std::vector<int> chain = OpenChain(node.left, driving);
+        chain.push_back(id);
+        return chain;
+      }
+      case PlanOp::kHashJoin: {
+        // Build side: its chain closes at this join.
+        double build_driving = 0.0;
+        std::vector<int> build = OpenChain(node.right, &build_driving);
+        build.push_back(id);
+        Close(std::move(build), build_driving, /*builds_hash_table=*/true);
+        // Probe side streams through the join.
+        std::vector<int> chain = OpenChain(node.left, driving);
+        chain.push_back(id);
+        return chain;
+      }
+      case PlanOp::kHashAggregate:
+      case PlanOp::kSort: {
+        // Input chain closes here (build stage)...
+        double input_driving = 0.0;
+        std::vector<int> input = OpenChain(node.left, &input_driving);
+        input.push_back(id);
+        const int input_pipeline =
+            Close(std::move(input), input_driving, false);
+        // ...and the node's streamed work belongs to that pipeline.
+        Assign(id, input_pipeline);
+        // The consumer chain scans the materialized output (scan stage).
+        *driving = node.cardinality;
+        return {id};
+      }
+      case PlanOp::kOutput:
+        break;
+    }
+    T3_CHECK(false);  // kOutput never appears below the root.
+    return {};
+  }
+
+  void Run() {
+    const int root = plan.root();
+    double driving = 0.0;
+    std::vector<int> chain = OpenChain(Node(root).left, &driving);
+    chain.push_back(root);
+    Close(std::move(chain), driving, false);
+
+    // Stage tags for streaming nodes: the pipeline whose chain contains
+    // them. Breakers were assigned at Close time (aggregate/sort) or get the
+    // probe pipeline below (join: the later chain containing it wins).
+    for (const Pipeline& pipeline : out->pipelines) {
+      for (int id : pipeline.nodes) {
+        const PlanNode& node = Node(id);
+        const bool breaker_source =
+            (node.op == PlanOp::kHashAggregate || node.op == PlanOp::kSort) &&
+            id == pipeline.nodes.front();
+        if (breaker_source) continue;  // Scan stage; keep the build tag.
+        Assign(id, pipeline.id);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<PipelineDecomposition> DecomposePipelines(const PhysicalPlan& plan) {
+  Status status = ValidatePlan(plan);
+  if (!status.ok()) return status;
+  PipelineDecomposition decomposition;
+  decomposition.node_pipeline.assign(plan.nodes.size(), -1);
+  Splitter{plan, &decomposition}.Run();
+  return decomposition;
+}
+
+void AnnotatePipelineStages(PhysicalPlan* plan,
+                            const PipelineDecomposition& decomposition) {
+  T3_CHECK(plan->nodes.size() == decomposition.node_pipeline.size());
+  for (size_t i = 0; i < plan->nodes.size(); ++i) {
+    plan->nodes[i].stage = decomposition.node_pipeline[i];
+  }
+}
+
+std::string DecompositionToString(const PhysicalPlan& plan,
+                                  const PipelineDecomposition& decomposition) {
+  std::string out;
+  for (const Pipeline& pipeline : decomposition.pipelines) {
+    out += StrFormat("pipeline %d (driving=%.0f%s):", pipeline.id,
+                     pipeline.driving_cardinality,
+                     pipeline.builds_hash_table ? ", builds hash table" : "");
+    for (int id : pipeline.nodes) {
+      out += StrFormat(" %s#%d",
+                       PlanOpName(plan.nodes[static_cast<size_t>(id)].op), id);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace t3

@@ -1,0 +1,67 @@
+#ifndef T3_PLAN_PIPELINE_H_
+#define T3_PLAN_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace t3 {
+
+/// One pipeline: a maximal operator chain tuples stream through without
+/// materialization, from a source (table scan, or the materialized output of
+/// a breaker) to a sink (a pipeline breaker, or the plan's output).
+///
+/// Breaker rules (T3 §3 / Figure 4):
+///  - kHashAggregate and kSort are full breakers: their input pipeline ends
+///    at them (the node's build stage), and they start the consumer pipeline
+///    as its source (the node's scan stage).
+///  - kHashJoin breaks its build (right) side only: the build pipeline ends
+///    at the join; the probe (left) side streams through it.
+///  - kFilter, kProject, kLimit stream; kScan is always a source; kOutput is
+///    always the final sink.
+///
+/// A breaker node therefore appears in two pipelines (its two stages). The
+/// single `stage` tag written back into PlanNode is the pipeline that
+/// *streams tuples through* the node: the probe pipeline for joins, the
+/// input pipeline for aggregate/sort.
+struct Pipeline {
+  int id = 0;
+  /// Node ids source..sink in execution order. For a source that is a
+  /// breaker's output, the breaker node id leads the list.
+  std::vector<int> nodes;
+  /// Estimated tuples entering the pipeline: the scan's table cardinality,
+  /// or the source breaker's output cardinality.
+  double driving_cardinality = 0.0;
+  /// True when the sink is the build side of a hash join.
+  bool builds_hash_table = false;
+
+  int source() const { return nodes.front(); }
+  int sink() const { return nodes.back(); }
+};
+
+struct PipelineDecomposition {
+  /// Topologically ordered: every pipeline appears after the pipelines that
+  /// materialize its inputs (join build sides, breaker outputs).
+  std::vector<Pipeline> pipelines;
+  /// node id -> id of the pipeline that streams tuples through the node.
+  std::vector<int> node_pipeline;
+};
+
+/// Splits a validated plan at its pipeline breakers. Fails (structurally)
+/// only when the plan itself is invalid.
+Result<PipelineDecomposition> DecomposePipelines(const PhysicalPlan& plan);
+
+/// Writes each node's pipeline id into PlanNode::stage, making the
+/// decomposition part of the plan's serialized annotations.
+void AnnotatePipelineStages(PhysicalPlan* plan,
+                            const PipelineDecomposition& decomposition);
+
+/// Human-readable pipeline listing for logs and tests.
+std::string DecompositionToString(const PhysicalPlan& plan,
+                                  const PipelineDecomposition& decomposition);
+
+}  // namespace t3
+
+#endif  // T3_PLAN_PIPELINE_H_

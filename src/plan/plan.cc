@@ -1,0 +1,627 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+/// Op-specific `extra` annotation (documented at PlanToRecords).
+double ExtraFor(const PlanNode& node) {
+  switch (node.op) {
+    case PlanOp::kScan:
+    case PlanOp::kProject:
+      return static_cast<double>(node.columns.size());
+    case PlanOp::kFilter:
+      return static_cast<double>(node.predicates.size());
+    case PlanOp::kHashJoin:
+      return static_cast<double>(node.left_keys.size());
+    case PlanOp::kHashAggregate:
+      return static_cast<double>(node.group_by.size());
+    case PlanOp::kSort:
+      return static_cast<double>(node.sort_keys.size());
+    case PlanOp::kLimit:
+      return static_cast<double>(node.limit);
+    case PlanOp::kOutput:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double SchemaWidthBytes(const std::vector<ColumnType>& schema) {
+  double width = 0.0;
+  for (ColumnType type : schema) width += ColumnTypeWidthBytes(type);
+  return width;
+}
+
+bool IsNumeric(ColumnType type) {
+  return type != ColumnType::kString;
+}
+
+/// Output schema of one node given its children's schemas; also the type
+/// checker for the node's payload. `table_rows` is filled for kScan.
+Result<std::vector<ColumnType>> NodeOutputSchema(
+    const Catalog& catalog, const PlanNode& node, int id,
+    const std::vector<ColumnType>* left_schema,
+    const std::vector<ColumnType>* right_schema, uint64_t* table_rows) {
+  auto err = [&](const std::string& message) {
+    return InvalidArgumentError(
+        StrFormat("plan node %d (%s): %s", id, PlanOpName(node.op),
+                  message.c_str()));
+  };
+  auto in_range = [](int column, const std::vector<ColumnType>& schema) {
+    return column >= 0 && static_cast<size_t>(column) < schema.size();
+  };
+
+  switch (node.op) {
+    case PlanOp::kScan: {
+      Result<const Table*> table = catalog.FindTable(node.table);
+      if (!table.ok()) return table.status();
+      if (table_rows != nullptr) *table_rows = (*table)->num_rows();
+      std::vector<ColumnType> schema;
+      for (int column : node.columns) {
+        if (column < 0 ||
+            static_cast<size_t>(column) >= (*table)->num_columns()) {
+          return err(StrFormat("column %d out of range for table %s", column,
+                               node.table.c_str()));
+        }
+        schema.push_back(
+            (*table)->column(static_cast<size_t>(column)).type());
+      }
+      return schema;
+    }
+    case PlanOp::kFilter: {
+      for (const FilterPredicate& predicate : node.predicates) {
+        if (!in_range(predicate.column, *left_schema)) {
+          return err(StrFormat("predicate column %d out of range",
+                               predicate.column));
+        }
+        if (!IsNumeric((*left_schema)[static_cast<size_t>(
+                predicate.column)])) {
+          return err(StrFormat("predicate column %d is not numeric",
+                               predicate.column));
+        }
+      }
+      return *left_schema;
+    }
+    case PlanOp::kProject: {
+      std::vector<ColumnType> schema;
+      for (int column : node.columns) {
+        if (!in_range(column, *left_schema)) {
+          return err(StrFormat("projected column %d out of range", column));
+        }
+        schema.push_back((*left_schema)[static_cast<size_t>(column)]);
+      }
+      return schema;
+    }
+    case PlanOp::kHashJoin: {
+      for (size_t k = 0; k < node.left_keys.size(); ++k) {
+        const int probe_key = node.left_keys[k];
+        const int build_key = node.right_keys[k];
+        if (!in_range(probe_key, *left_schema) ||
+            !in_range(build_key, *right_schema)) {
+          return err("join key column out of range");
+        }
+        const ColumnType probe_type =
+            (*left_schema)[static_cast<size_t>(probe_key)];
+        const ColumnType build_type =
+            (*right_schema)[static_cast<size_t>(build_key)];
+        if (!IsIntegerBacked(probe_type) || !IsIntegerBacked(build_type)) {
+          return err("join keys must be integer-backed (int64/date)");
+        }
+      }
+      std::vector<ColumnType> schema = *left_schema;
+      schema.insert(schema.end(), right_schema->begin(), right_schema->end());
+      return schema;
+    }
+    case PlanOp::kHashAggregate: {
+      std::vector<ColumnType> schema;
+      for (int column : node.group_by) {
+        if (!in_range(column, *left_schema)) {
+          return err(StrFormat("group column %d out of range", column));
+        }
+        const ColumnType type = (*left_schema)[static_cast<size_t>(column)];
+        if (!IsIntegerBacked(type)) {
+          return err("group keys must be integer-backed (int64/date)");
+        }
+        schema.push_back(type);
+      }
+      for (const AggregateSpec& spec : node.aggregates) {
+        if (spec.fn == AggFunc::kCountStar) {
+          schema.push_back(ColumnType::kInt64);
+          continue;
+        }
+        if (!in_range(spec.column, *left_schema)) {
+          return err(StrFormat("aggregate column %d out of range",
+                               spec.column));
+        }
+        const ColumnType type = (*left_schema)[static_cast<size_t>(
+            spec.column)];
+        switch (spec.fn) {
+          case AggFunc::kCount:
+            schema.push_back(ColumnType::kInt64);
+            break;
+          case AggFunc::kSum:
+            if (!IsNumeric(type)) return err("sum over non-numeric column");
+            schema.push_back(ColumnType::kFloat64);
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            schema.push_back(type);
+            break;
+          case AggFunc::kCountStar:
+            break;
+        }
+      }
+      return schema;
+    }
+    case PlanOp::kSort: {
+      for (const SortKey& key : node.sort_keys) {
+        if (!in_range(key.column, *left_schema)) {
+          return err(StrFormat("sort column %d out of range", key.column));
+        }
+      }
+      return *left_schema;
+    }
+    case PlanOp::kLimit:
+    case PlanOp::kOutput:
+      return *left_schema;
+  }
+  return err("unknown operator");
+}
+
+}  // namespace
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan:
+      return "scan";
+    case PlanOp::kFilter:
+      return "filter";
+    case PlanOp::kProject:
+      return "project";
+    case PlanOp::kHashJoin:
+      return "hash_join";
+    case PlanOp::kHashAggregate:
+      return "hash_aggregate";
+    case PlanOp::kSort:
+      return "sort";
+    case PlanOp::kLimit:
+      return "limit";
+    case PlanOp::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+bool IsPlanOpCode(int code) {
+  return (code >= 0 && code <= 6) || code == 8;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+double ColumnTypeWidthBytes(ColumnType type) {
+  return type == ColumnType::kString ? 16.0 : 8.0;
+}
+
+Status ValidatePlan(const PhysicalPlan& plan) {
+  if (plan.nodes.empty()) return InvalidArgumentError("plan: no nodes");
+  const int n = static_cast<int>(plan.nodes.size());
+  std::vector<int> consumers(plan.nodes.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const PlanNode& node = plan.nodes[static_cast<size_t>(i)];
+    auto err = [&](const std::string& message) {
+      return InvalidArgumentError(StrFormat("plan node %d (%s): %s", i,
+                                            PlanOpName(node.op),
+                                            message.c_str()));
+    };
+    if (!IsPlanOpCode(static_cast<int>(node.op))) {
+      return InvalidArgumentError(
+          StrFormat("plan node %d: unknown op code %d", i,
+                    static_cast<int>(node.op)));
+    }
+    // Arity + children strictly before parents.
+    const bool is_leaf = node.op == PlanOp::kScan;
+    const bool is_binary = node.op == PlanOp::kHashJoin;
+    if (is_leaf) {
+      if (node.left != -1 || node.right != -1) return err("scan has inputs");
+    } else if (is_binary) {
+      if (node.left < 0 || node.left >= i || node.right < 0 ||
+          node.right >= i || node.left == node.right) {
+        return err("bad join children");
+      }
+    } else {
+      if (node.left < 0 || node.left >= i || node.right != -1) {
+        return err("bad unary input");
+      }
+    }
+    if (node.left >= 0) ++consumers[static_cast<size_t>(node.left)];
+    if (node.right >= 0) ++consumers[static_cast<size_t>(node.right)];
+
+    if (!std::isfinite(node.cardinality) || node.cardinality < 0.0) {
+      return err("cardinality must be finite and non-negative");
+    }
+    if (!std::isfinite(node.width) || node.width < 0.0) {
+      return err("width must be finite and non-negative");
+    }
+    if (!std::isfinite(node.extra)) return err("extra must be finite");
+
+    // Payload shape (type checks happen against the catalog at execution).
+    switch (node.op) {
+      case PlanOp::kFilter:
+        if (node.predicates.empty()) return err("filter with no predicates");
+        for (const FilterPredicate& predicate : node.predicates) {
+          if (!std::isfinite(predicate.constant)) {
+            return err("predicate constant must be finite");
+          }
+        }
+        break;
+      case PlanOp::kHashJoin:
+        if (node.left_keys.empty() ||
+            node.left_keys.size() != node.right_keys.size()) {
+          return err("join keys must pair up and be non-empty");
+        }
+        break;
+      case PlanOp::kHashAggregate:
+        if (node.group_by.empty() && node.aggregates.empty()) {
+          return err("aggregate with no groups and no aggregates");
+        }
+        break;
+      case PlanOp::kSort:
+        if (node.sort_keys.empty()) return err("sort with no keys");
+        break;
+      case PlanOp::kLimit:
+        if (node.limit < 0) return err("negative limit");
+        break;
+      case PlanOp::kOutput:
+        if (i != n - 1) return err("output below the root");
+        break;
+      case PlanOp::kScan:
+      case PlanOp::kProject:
+        break;
+    }
+  }
+  if (plan.nodes.back().op != PlanOp::kOutput) {
+    return InvalidArgumentError("plan: root must be the output node");
+  }
+  for (int i = 0; i < n - 1; ++i) {
+    if (consumers[static_cast<size_t>(i)] != 1) {
+      return InvalidArgumentError(StrFormat(
+          "plan node %d: consumed %d times (plans are trees)", i,
+          consumers[static_cast<size_t>(i)]));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<PlanNodeRecord> PlanToRecords(const PhysicalPlan& plan) {
+  std::vector<PlanNodeRecord> records;
+  records.reserve(plan.nodes.size());
+  for (const PlanNode& node : plan.nodes) {
+    PlanNodeRecord record;
+    record.op = static_cast<int>(node.op);
+    record.left = node.left;
+    record.right = node.right;
+    record.cardinality = node.cardinality;
+    record.extra = ExtraFor(node);
+    record.width = node.width;
+    record.stage = node.stage < 0 ? 0 : node.stage;
+    records.push_back(record);
+  }
+  return records;
+}
+
+Result<PhysicalPlan> PlanFromRecords(
+    const std::vector<PlanNodeRecord>& records) {
+  PhysicalPlan plan;
+  plan.nodes.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const PlanNodeRecord& record = records[i];
+    if (!IsPlanOpCode(record.op)) {
+      return InvalidArgumentError(StrFormat(
+          "plan record %zu: unknown op code %d", i, record.op));
+    }
+    PlanNode node;
+    node.op = static_cast<PlanOp>(record.op);
+    node.left = record.left;
+    node.right = record.right;
+    node.cardinality = record.cardinality;
+    node.extra = record.extra;
+    node.width = record.width;
+    node.stage = record.stage;
+    // Rehydrate the payload shape ValidatePlan checks from `extra` so a
+    // skeleton passes structural validation (contents stay unknown).
+    switch (node.op) {
+      case PlanOp::kFilter:
+        node.predicates.resize(
+            record.extra >= 1.0 ? static_cast<size_t>(record.extra) : 1);
+        break;
+      case PlanOp::kHashJoin: {
+        const size_t keys =
+            record.extra >= 1.0 ? static_cast<size_t>(record.extra) : 1;
+        node.left_keys.resize(keys);
+        node.right_keys.resize(keys);
+        break;
+      }
+      case PlanOp::kHashAggregate:
+        if (record.extra >= 1.0) {
+          node.group_by.resize(static_cast<size_t>(record.extra));
+        } else {
+          node.aggregates.resize(1);
+        }
+        break;
+      case PlanOp::kSort:
+        node.sort_keys.resize(
+            record.extra >= 1.0 ? static_cast<size_t>(record.extra) : 1);
+        break;
+      case PlanOp::kLimit:
+        node.limit = static_cast<int64_t>(record.extra);
+        break;
+      case PlanOp::kScan:
+      case PlanOp::kProject:
+        node.columns.resize(static_cast<size_t>(
+            record.extra >= 0.0 ? record.extra : 0.0));
+        break;
+      case PlanOp::kOutput:
+        break;
+    }
+    plan.nodes.push_back(std::move(node));
+  }
+  Status status = ValidatePlan(plan);
+  if (!status.ok()) return status;
+  return plan;
+}
+
+std::string PlanToString(const PhysicalPlan& plan) {
+  std::string out;
+  // Render the tree root-first with indentation; children-before-parents
+  // order means recursing from the back.
+  struct Renderer {
+    const PhysicalPlan& plan;
+    std::string* out;
+    void Render(int id, int depth) {
+      const PlanNode& node = plan.nodes[static_cast<size_t>(id)];
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+      out->append(StrFormat("#%d %s", id, PlanOpName(node.op)));
+      if (node.op == PlanOp::kScan) {
+        out->append(StrFormat(" %s", node.table.c_str()));
+      }
+      if (node.op == PlanOp::kLimit) {
+        out->append(StrFormat(" %lld", static_cast<long long>(node.limit)));
+      }
+      out->append(StrFormat(" (card=%.0f width=%.0f", node.cardinality,
+                            node.width));
+      if (node.stage >= 0) out->append(StrFormat(" pipeline=%d", node.stage));
+      out->append(")\n");
+      if (node.left >= 0) Render(node.left, depth + 1);
+      if (node.right >= 0) Render(node.right, depth + 1);
+    }
+  };
+  if (!plan.nodes.empty()) Renderer{plan, &out}.Render(plan.root(), 0);
+  return out;
+}
+
+Result<std::vector<std::vector<ColumnType>>> ResolvePlanSchemas(
+    const Catalog& catalog, const PhysicalPlan& plan) {
+  Status status = ValidatePlan(plan);
+  if (!status.ok()) return status;
+  std::vector<std::vector<ColumnType>> schemas(plan.nodes.size());
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    const std::vector<ColumnType>* left =
+        node.left >= 0 ? &schemas[static_cast<size_t>(node.left)] : nullptr;
+    const std::vector<ColumnType>* right =
+        node.right >= 0 ? &schemas[static_cast<size_t>(node.right)] : nullptr;
+    Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+        catalog, node, static_cast<int>(i), left, right, nullptr);
+    if (!schema.ok()) return schema.status();
+    schemas[i] = *std::move(schema);
+  }
+  return schemas;
+}
+
+Status PlanBuilder::CheckInput(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= plan_.nodes.size()) {
+    return InvalidArgumentError(StrFormat("plan builder: bad input node %d",
+                                          id));
+  }
+  return Status::OK();
+}
+
+Result<int> PlanBuilder::Append(PlanNode node,
+                                std::vector<ColumnType> schema) {
+  node.width = SchemaWidthBytes(schema);
+  node.extra = ExtraFor(node);
+  plan_.nodes.push_back(std::move(node));
+  schemas_.push_back(std::move(schema));
+  return static_cast<int>(plan_.nodes.size()) - 1;
+}
+
+Result<int> PlanBuilder::Scan(const std::string& table,
+                              std::vector<int> columns) {
+  PlanNode node;
+  node.op = PlanOp::kScan;
+  node.table = table;
+  if (columns.empty()) {
+    Result<const Table*> found = catalog_->FindTable(table);
+    if (!found.ok()) return found.status();
+    for (size_t c = 0; c < (*found)->num_columns(); ++c) {
+      columns.push_back(static_cast<int>(c));
+    }
+  }
+  node.columns = std::move(columns);
+  uint64_t rows = 0;
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()), nullptr, nullptr,
+      &rows);
+  if (!schema.ok()) return schema.status();
+  node.cardinality = static_cast<double>(rows);
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::Filter(int input,
+                                std::vector<FilterPredicate> predicates) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  PlanNode node;
+  node.op = PlanOp::kFilter;
+  node.left = input;
+  node.predicates = std::move(predicates);
+  const double input_card =
+      plan_.nodes[static_cast<size_t>(input)].cardinality;
+  node.cardinality =
+      input_card *
+      std::pow(1.0 / 3.0, static_cast<double>(node.predicates.size()));
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()),
+      &schemas_[static_cast<size_t>(input)], nullptr, nullptr);
+  if (!schema.ok()) return schema.status();
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::Project(int input, std::vector<int> columns) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  PlanNode node;
+  node.op = PlanOp::kProject;
+  node.left = input;
+  node.columns = std::move(columns);
+  node.cardinality = plan_.nodes[static_cast<size_t>(input)].cardinality;
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()),
+      &schemas_[static_cast<size_t>(input)], nullptr, nullptr);
+  if (!schema.ok()) return schema.status();
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::HashJoin(int probe, int build,
+                                  std::vector<int> probe_keys,
+                                  std::vector<int> build_keys) {
+  Status status = CheckInput(probe);
+  if (status.ok()) status = CheckInput(build);
+  if (!status.ok()) return status;
+  if (probe == build) {
+    return InvalidArgumentError("plan builder: join sides must differ");
+  }
+  PlanNode node;
+  node.op = PlanOp::kHashJoin;
+  node.left = probe;
+  node.right = build;
+  node.left_keys = std::move(probe_keys);
+  node.right_keys = std::move(build_keys);
+  if (node.left_keys.empty() ||
+      node.left_keys.size() != node.right_keys.size()) {
+    return InvalidArgumentError(
+        "plan builder: join keys must pair up and be non-empty");
+  }
+  node.cardinality = plan_.nodes[static_cast<size_t>(probe)].cardinality;
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()),
+      &schemas_[static_cast<size_t>(probe)],
+      &schemas_[static_cast<size_t>(build)], nullptr);
+  if (!schema.ok()) return schema.status();
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::HashAggregate(int input, std::vector<int> group_by,
+                                       std::vector<AggregateSpec> aggregates) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  PlanNode node;
+  node.op = PlanOp::kHashAggregate;
+  node.left = input;
+  node.group_by = std::move(group_by);
+  node.aggregates = std::move(aggregates);
+  const double input_card =
+      plan_.nodes[static_cast<size_t>(input)].cardinality;
+  node.cardinality =
+      node.group_by.empty() ? 1.0 : std::max(1.0, input_card / 10.0);
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()),
+      &schemas_[static_cast<size_t>(input)], nullptr, nullptr);
+  if (!schema.ok()) return schema.status();
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::Sort(int input, std::vector<SortKey> keys) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  PlanNode node;
+  node.op = PlanOp::kSort;
+  node.left = input;
+  node.sort_keys = std::move(keys);
+  node.cardinality = plan_.nodes[static_cast<size_t>(input)].cardinality;
+  Result<std::vector<ColumnType>> schema = NodeOutputSchema(
+      *catalog_, node, static_cast<int>(plan_.nodes.size()),
+      &schemas_[static_cast<size_t>(input)], nullptr, nullptr);
+  if (!schema.ok()) return schema.status();
+  return Append(std::move(node), *std::move(schema));
+}
+
+Result<int> PlanBuilder::Limit(int input, int64_t n) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  if (n < 0) return InvalidArgumentError("plan builder: negative limit");
+  PlanNode node;
+  node.op = PlanOp::kLimit;
+  node.left = input;
+  node.limit = n;
+  node.cardinality = std::min(
+      plan_.nodes[static_cast<size_t>(input)].cardinality,
+      static_cast<double>(n));
+  return Append(std::move(node), schemas_[static_cast<size_t>(input)]);
+}
+
+Result<PhysicalPlan> PlanBuilder::Output(int input) {
+  Status status = CheckInput(input);
+  if (!status.ok()) return status;
+  PlanNode node;
+  node.op = PlanOp::kOutput;
+  node.left = input;
+  node.cardinality = plan_.nodes[static_cast<size_t>(input)].cardinality;
+  Result<int> appended =
+      Append(std::move(node), schemas_[static_cast<size_t>(input)]);
+  if (!appended.ok()) return appended.status();
+  PhysicalPlan plan = std::move(plan_);
+  plan_ = PhysicalPlan();
+  schemas_.clear();
+  status = ValidatePlan(plan);
+  if (!status.ok()) return status;
+  return plan;
+}
+
+}  // namespace t3

@@ -36,6 +36,70 @@ TEST(StatsTest, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(Quantile(values, 0.9), 46.0);  // Between 40 and 50.
 }
 
+TEST(StatsTest, EmptyInputYieldsNaNNotAbort) {
+  // Stats run over untrusted, possibly-empty data (parsed corpora, filtered
+  // run lists); empty input is a data condition reported as NaN, never a
+  // crash.
+  EXPECT_TRUE(std::isnan(Mean({})));
+  EXPECT_TRUE(std::isnan(Median({})));
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.0)));
+  EXPECT_DOUBLE_EQ(Stddev({}), 0.0);
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  double value = -1.0;
+  EXPECT_TRUE(ParseDouble("3.25", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -1e-3);
+  EXPECT_TRUE(ParseDouble("0", &value));
+  EXPECT_DOUBLE_EQ(value, 0.0);
+
+  value = 7.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));  // Trailing characters.
+  EXPECT_FALSE(ParseDouble("1.5 ", &value));
+  EXPECT_FALSE(ParseDouble("inf", &value));
+  EXPECT_FALSE(ParseDouble("-inf", &value));
+  EXPECT_FALSE(ParseDouble("nan", &value));
+  EXPECT_FALSE(ParseDouble("1e999", &value));  // Overflows to infinity.
+  EXPECT_DOUBLE_EQ(value, 7.0);  // Failures never touch the output.
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  int64_t value = -1;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &value));
+  EXPECT_EQ(value, INT64_MAX);
+
+  value = 5;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("12.5", &value));
+  EXPECT_FALSE(ParseInt64("12abc", &value));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &value));  // Overflow.
+  EXPECT_EQ(value, 5);
+}
+
+TEST(StringUtilTest, ParseUint64Strict) {
+  uint64_t value = 1;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+
+  value = 5;
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));  // No wrapping to huge values.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &value));  // Overflow.
+  EXPECT_FALSE(ParseUint64("1.0", &value));
+  EXPECT_EQ(value, 5u);
+}
+
 TEST(RngTest, DeterministicAcrossInstances) {
   Rng a(123);
   Rng b(123);

@@ -1,0 +1,447 @@
+// Cross-checks the vectorized executor against scalar reference
+// computations: NULL semantics on a hand-built table, filter/aggregate and
+// join/sort queries over generated datagen instances, and the
+// ExplainAnalyze invariants (per-pipeline times sum to ~total, operator
+// tuple counts match the data).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "engine/executor.h"
+#include "plan/pipeline.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+
+namespace t3 {
+namespace {
+
+Catalog GenerateSmall(const std::string& instance) {
+  Result<const InstanceSpec*> spec = FindInstance(instance);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  DatagenOptions options;
+  options.seed = 42;
+  options.scale_override = 0.05;
+  Result<Catalog> catalog = GenerateInstance(**spec, options);
+  EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+  return *std::move(catalog);
+}
+
+const Table& LargestTable(const Catalog& catalog) {
+  size_t best = 0;
+  for (size_t t = 1; t < catalog.num_tables(); ++t) {
+    if (catalog.table(t).num_rows() > catalog.table(best).num_rows()) {
+      best = t;
+    }
+  }
+  return catalog.table(best);
+}
+
+/// First column of an integer-backed / float64 type, or -1.
+int FindColumnOfType(const Table& table, bool want_float) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnType type = table.column(c).type();
+    if (want_float ? type == ColumnType::kFloat64 : IsIntegerBacked(type)) {
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+double NumericValueAt(const Column& column, size_t row) {
+  return column.type() == ColumnType::kFloat64
+             ? column.Float64At(row)
+             : static_cast<double>(column.Int64At(row));
+}
+
+/// Group key for the scalar reference: NULL is its own group.
+using RefKey = std::optional<int64_t>;
+
+TEST(EngineTest, NullSemanticsOnHandBuiltTable) {
+  // Each column is filled before the next AddColumn call: AddColumn returns
+  // a reference that a later AddColumn may invalidate.
+  Catalog catalog;
+  Table& t = catalog.AddTable("t");
+  Column& k = t.AddColumn("k", ColumnType::kInt64);
+  k.AppendInt64(1);
+  k.AppendNull();
+  k.AppendInt64(1);
+  k.AppendInt64(2);
+  k.AppendNull();
+  Column& v = t.AddColumn("v", ColumnType::kFloat64);
+  v.AppendFloat64(1.5);
+  v.AppendFloat64(2.5);
+  v.AppendNull();
+  v.AppendFloat64(4.0);
+  v.AppendFloat64(5.0);
+
+  PlanBuilder builder(&catalog);
+  const int scan = *builder.Scan("t");
+  const int agg = *builder.HashAggregate(
+      scan, {0},
+      {{AggFunc::kCountStar, -1}, {AggFunc::kCount, 1}, {AggFunc::kSum, 1}});
+  const PhysicalPlan plan = *builder.Output(agg);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const DataChunk& result = run->result;
+  ASSERT_EQ(result.num_rows, 3u);  // Groups 1, 2, and NULL.
+
+  std::map<RefKey, std::pair<int64_t, std::pair<int64_t, double>>> got;
+  for (size_t r = 0; r < result.num_rows; ++r) {
+    RefKey key;
+    if (!result.columns[0].IsNull(r)) key = result.columns[0].i64[r];
+    got[key] = {result.columns[1].i64[r],
+                {result.columns[2].i64[r], result.columns[3].f64[r]}};
+  }
+  // count(*) counts rows; count(v) and sum(v) skip NULL inputs.
+  EXPECT_EQ(got[RefKey{1}].first, 2);
+  EXPECT_EQ(got[RefKey{1}].second.first, 1);
+  EXPECT_DOUBLE_EQ(got[RefKey{1}].second.second, 1.5);
+  EXPECT_EQ(got[RefKey{2}].first, 1);
+  EXPECT_DOUBLE_EQ(got[RefKey{2}].second.second, 4.0);
+  EXPECT_EQ(got[RefKey{}].first, 2);
+  EXPECT_EQ(got[RefKey{}].second.first, 2);
+  EXPECT_DOUBLE_EQ(got[RefKey{}].second.second, 7.5);
+}
+
+TEST(EngineTest, JoinSkipsNullKeysOnBothSides) {
+  Catalog catalog;
+  Table& dim = catalog.AddTable("dim");
+  Column& d_k = dim.AddColumn("k", ColumnType::kInt64);
+  d_k.AppendInt64(1);
+  d_k.AppendInt64(2);
+  d_k.AppendNull();
+  Table& fact = catalog.AddTable("fact");
+  Column& f_k = fact.AddColumn("k", ColumnType::kInt64);
+  f_k.AppendInt64(1);
+  f_k.AppendNull();
+  f_k.AppendInt64(2);
+  f_k.AppendInt64(1);
+
+  PlanBuilder builder(&catalog);
+  const int probe = *builder.Scan("fact");
+  const int build = *builder.Scan("dim");
+  const int join = *builder.HashJoin(probe, build, {0}, {0});
+  const PhysicalPlan plan = *builder.Output(join);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // NULL keys never match: rows 0, 2, 3 of fact match, NULLs drop out.
+  EXPECT_EQ(run->result_rows(), 3u);
+  EXPECT_EQ(run->operators[static_cast<size_t>(join)].rows_out, 3u);
+}
+
+TEST(EngineTest, EmptyInputGlobalAggregateEmitsOneRow) {
+  Catalog catalog;
+  Table& t = catalog.AddTable("t");
+  t.AddColumn("v", ColumnType::kFloat64);  // Zero rows.
+
+  PlanBuilder builder(&catalog);
+  const int scan = *builder.Scan("t");
+  const int agg = *builder.HashAggregate(
+      scan, {}, {{AggFunc::kCountStar, -1}, {AggFunc::kSum, 0}});
+  const PhysicalPlan plan = *builder.Output(agg);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->result_rows(), 1u);
+  EXPECT_EQ(run->result.columns[0].i64[0], 0);       // count(*) = 0.
+  EXPECT_TRUE(run->result.columns[1].IsNull(0));     // sum of nothing = NULL.
+}
+
+TEST(EngineTest, FilterAggregateMatchesScalarReference) {
+  // The same filter + grouped aggregation computed two ways — vectorized
+  // morsels vs a plain scalar loop over the storage columns — on three
+  // generated instances from different schema families.
+  for (const std::string instance :
+       {"tpch_sf0", "tpcds_sf0", "airline_small"}) {
+    SCOPED_TRACE(instance);
+    const Catalog catalog = GenerateSmall(instance);
+    const Table& table = LargestTable(catalog);
+    const int group_col = FindColumnOfType(table, /*want_float=*/false);
+    const int value_col = FindColumnOfType(table, /*want_float=*/true);
+    ASSERT_GE(group_col, 0);
+    ASSERT_GE(value_col, 0);
+    const Column& group = table.column(static_cast<size_t>(group_col));
+    const Column& value = table.column(static_cast<size_t>(value_col));
+
+    // Threshold at the mean so the filter keeps a nontrivial fraction.
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (value.IsNull(r)) continue;
+      sum += NumericValueAt(value, r);
+      ++n;
+    }
+    ASSERT_GT(n, 0u);
+    const double threshold = sum / static_cast<double>(n);
+
+    // Scalar reference, in row order (so float accumulation order matches).
+    std::map<RefKey, std::pair<int64_t, double>> expected;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (value.IsNull(r) || !(NumericValueAt(value, r) < threshold)) {
+        continue;  // NULL never passes a predicate.
+      }
+      RefKey key;
+      if (!group.IsNull(r)) key = group.Int64At(r);
+      auto& acc = expected[key];
+      ++acc.first;
+      acc.second += NumericValueAt(value, r);
+    }
+
+    PlanBuilder builder(&catalog);
+    const int scan = *builder.Scan(table.name());
+    const int filter =
+        *builder.Filter(scan, {{value_col, CompareOp::kLt, threshold}});
+    const int agg = *builder.HashAggregate(
+        filter, {group_col},
+        {{AggFunc::kCountStar, -1}, {AggFunc::kSum, value_col}});
+    const PhysicalPlan plan = *builder.Output(agg);
+
+    const Executor executor(catalog);
+    Result<ExplainAnalyze> run = executor.Execute(plan);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const DataChunk& result = run->result;
+    ASSERT_EQ(result.num_rows, expected.size());
+    for (size_t r = 0; r < result.num_rows; ++r) {
+      RefKey key;
+      if (!result.columns[0].IsNull(r)) key = result.columns[0].i64[r];
+      auto it = expected.find(key);
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(result.columns[1].i64[r], it->second.first);
+      EXPECT_NEAR(result.columns[2].f64[r], it->second.second,
+                  1e-9 * std::max(1.0, std::fabs(it->second.second)));
+    }
+  }
+}
+
+/// First (fact table, fk column, dim table, key column) relationship of an
+/// instance spec, resolved to catalog column indices.
+struct FkJoin {
+  std::string fact;
+  std::string dim;
+  int fk_col = -1;
+  int key_col = -1;
+};
+
+std::optional<FkJoin> FindFkJoin(const InstanceSpec& spec) {
+  for (const TableSpec& table : spec.tables) {
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c].dist != DistKind::kForeignKey) continue;
+      for (const TableSpec& target : spec.tables) {
+        if (target.name != table.columns[c].fk_table) continue;
+        for (size_t k = 0; k < target.columns.size(); ++k) {
+          if (target.columns[k].dist == DistKind::kSequential) {
+            return FkJoin{table.name, target.name, static_cast<int>(c),
+                          static_cast<int>(k)};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(EngineTest, JoinCountMatchesScalarReference) {
+  for (const std::string instance : {"tpch_sf0", "tpcds_sf0"}) {
+    SCOPED_TRACE(instance);
+    Result<const InstanceSpec*> spec = FindInstance(instance);
+    ASSERT_TRUE(spec.ok());
+    const std::optional<FkJoin> fk = FindFkJoin(**spec);
+    ASSERT_TRUE(fk.has_value()) << "no FK relationship in " << instance;
+    const Catalog catalog = GenerateSmall(instance);
+    const Table& fact = **catalog.FindTable(fk->fact);
+    const Table& dim = **catalog.FindTable(fk->dim);
+
+    // Scalar reference: count matches through a multiplicity map.
+    std::map<int64_t, uint64_t> dim_count;
+    const Column& key = dim.column(static_cast<size_t>(fk->key_col));
+    for (size_t r = 0; r < dim.num_rows(); ++r) {
+      if (!key.IsNull(r)) ++dim_count[key.Int64At(r)];
+    }
+    uint64_t expected_matches = 0;
+    const Column& fk_col = fact.column(static_cast<size_t>(fk->fk_col));
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      if (fk_col.IsNull(r)) continue;
+      auto it = dim_count.find(fk_col.Int64At(r));
+      if (it != dim_count.end()) expected_matches += it->second;
+    }
+
+    PlanBuilder builder(&catalog);
+    const int probe = *builder.Scan(fk->fact);
+    const int build = *builder.Scan(fk->dim, {fk->key_col});
+    const int join = *builder.HashJoin(probe, build, {fk->fk_col}, {0});
+    const int agg =
+        *builder.HashAggregate(join, {}, {{AggFunc::kCountStar, -1}});
+    const PhysicalPlan plan = *builder.Output(agg);
+
+    const Executor executor(catalog);
+    Result<ExplainAnalyze> run = executor.Execute(plan);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run->result_rows(), 1u);
+    EXPECT_EQ(static_cast<uint64_t>(run->result.columns[0].i64[0]),
+              expected_matches);
+    EXPECT_EQ(run->operators[static_cast<size_t>(join)].rows_out,
+              expected_matches);
+    EXPECT_GT(expected_matches, 0u);
+  }
+}
+
+TEST(EngineTest, SortLimitMatchesScalarReference) {
+  const Catalog catalog = GenerateSmall("airline_small");
+  const Table& table = LargestTable(catalog);
+  const int sort_col = FindColumnOfType(table, /*want_float=*/true);
+  ASSERT_GE(sort_col, 0);
+  const Column& column = table.column(static_cast<size_t>(sort_col));
+  constexpr int64_t kLimit = 25;
+
+  // Scalar reference: ascending, NULLs last, ties in input order.
+  std::vector<size_t> order(table.num_rows());
+  for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool null_a = column.IsNull(a);
+    const bool null_b = column.IsNull(b);
+    if (null_a != null_b) return null_b;
+    if (null_a) return false;
+    return NumericValueAt(column, a) < NumericValueAt(column, b);
+  });
+  order.resize(static_cast<size_t>(
+      std::min<int64_t>(kLimit, static_cast<int64_t>(order.size()))));
+
+  PlanBuilder builder(&catalog);
+  const int scan = *builder.Scan(table.name());
+  const int sort = *builder.Sort(scan, {{sort_col, true}});
+  const int limit = *builder.Limit(sort, kLimit);
+  const PhysicalPlan plan = *builder.Output(limit);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const DataChunk& result = run->result;
+  ASSERT_EQ(result.num_rows, order.size());
+  const ColumnVector& got = result.columns[static_cast<size_t>(sort_col)];
+  for (size_t r = 0; r < order.size(); ++r) {
+    ASSERT_EQ(got.IsNull(r), column.IsNull(order[r])) << r;
+    if (!got.IsNull(r)) {
+      EXPECT_DOUBLE_EQ(got.f64[r], column.Float64At(order[r])) << r;
+    }
+  }
+}
+
+TEST(EngineTest, LimitStopsReadingTheSource) {
+  const Catalog catalog = GenerateSmall("tpch_sf0");
+  const Table& table = LargestTable(catalog);
+  ASSERT_GT(table.num_rows(), kMorselRows);
+
+  PlanBuilder builder(&catalog);
+  const int scan = *builder.Scan(table.name());
+  const int limit = *builder.Limit(scan, 5);
+  const PhysicalPlan plan = *builder.Output(limit);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->result_rows(), 5u);
+  // Early stop: one morsel read, not the whole table.
+  ASSERT_EQ(run->pipelines.size(), 1u);
+  EXPECT_EQ(run->pipelines[0].source_rows, kMorselRows);
+  EXPECT_EQ(run->pipelines[0].morsels, 1u);
+}
+
+TEST(EngineTest, ExplainAnalyzeInvariantsHold) {
+  const Catalog catalog = GenerateSmall("tpch_sf0");
+  Result<const InstanceSpec*> spec = FindInstance("tpch_sf0");
+  ASSERT_TRUE(spec.ok());
+  const std::optional<FkJoin> fk = FindFkJoin(**spec);
+  ASSERT_TRUE(fk.has_value());
+  const Table& fact = **catalog.FindTable(fk->fact);
+
+  PlanBuilder builder(&catalog);
+  const int probe = *builder.Scan(fk->fact);
+  const int build = *builder.Scan(fk->dim, {fk->key_col});
+  const int join = *builder.HashJoin(probe, build, {fk->fk_col}, {0});
+  const int agg = *builder.HashAggregate(
+      join, {fk->fk_col}, {{AggFunc::kCountStar, -1}});
+  const int sort = *builder.Sort(agg, {{1, false}});
+  PhysicalPlan plan = *builder.Output(sort);
+
+  const Executor executor(catalog);
+  Result<ExplainAnalyze> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // The pipeline set matches the static decomposition.
+  Result<PipelineDecomposition> decomposition = DecomposePipelines(plan);
+  ASSERT_TRUE(decomposition.ok());
+  ASSERT_EQ(run->pipelines.size(), decomposition->pipelines.size());
+  for (size_t p = 0; p < run->pipelines.size(); ++p) {
+    EXPECT_EQ(run->pipelines[p].nodes, decomposition->pipelines[p].nodes);
+    EXPECT_DOUBLE_EQ(run->pipelines[p].driving_cardinality,
+                     decomposition->pipelines[p].driving_cardinality);
+  }
+
+  // Per-pipeline wall times: non-negative, and they sum to ~total (the
+  // remainder is orchestration overhead outside any pipeline).
+  double pipeline_sum = 0.0;
+  for (const PipelineStats& stats : run->pipelines) {
+    EXPECT_GE(stats.seconds, 0.0);
+    pipeline_sum += stats.seconds;
+  }
+  EXPECT_LE(pipeline_sum, run->total_seconds + 1e-6);
+  EXPECT_LE(run->total_seconds - pipeline_sum,
+            std::max(0.5 * run->total_seconds, 0.01));
+
+  // Tuple-count invariants against the data.
+  EXPECT_EQ(run->operators[static_cast<size_t>(probe)].rows_out,
+            fact.num_rows());
+  EXPECT_EQ(run->operators[static_cast<size_t>(join)].rows_in,
+            fact.num_rows() + (**catalog.FindTable(fk->dim)).num_rows());
+  EXPECT_EQ(run->operators[static_cast<size_t>(agg)].rows_in,
+            run->operators[static_cast<size_t>(join)].rows_out);
+  EXPECT_EQ(run->operators[static_cast<size_t>(agg)].rows_out,
+            run->operators[static_cast<size_t>(sort)].rows_in);
+  EXPECT_EQ(run->operators[static_cast<size_t>(sort)].rows_out,
+            run->result_rows());
+
+  // Rendering includes the pipeline table and per-operator counts.
+  const std::string rendered = run->ToString(plan);
+  EXPECT_NE(rendered.find("pipeline 0"), std::string::npos);
+  EXPECT_NE(rendered.find("hash_join"), std::string::npos);
+}
+
+TEST(EngineTest, InvalidPlansAreErrorsNotCrashes) {
+  const Catalog catalog = GenerateSmall("tpch_sf0");
+  const Executor executor(catalog);
+  // Unknown table.
+  PhysicalPlan plan;
+  PlanNode scan;
+  scan.op = PlanOp::kScan;
+  scan.table = "nonexistent";
+  plan.nodes.push_back(scan);
+  PlanNode output;
+  output.op = PlanOp::kOutput;
+  output.left = 0;
+  plan.nodes.push_back(output);
+  EXPECT_FALSE(executor.Execute(plan).ok());
+  // Structurally broken plan (no output root).
+  PhysicalPlan broken;
+  broken.nodes.push_back(scan);
+  Result<ExplainAnalyze> run = executor.Execute(broken);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace t3

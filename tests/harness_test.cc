@@ -153,6 +153,46 @@ TEST(CorpusTest, RejectsSparseFeatureIndexBeyondDimension) {
   EXPECT_NE(corpus.status().message().find("sparse"), std::string::npos);
 }
 
+TEST(CorpusTest, RejectsNonFiniteDoublesWithLineDiagnostic) {
+  // TinyCorpusText's T line is line 5 of the file; a non-finite run value
+  // there must be rejected and named by line. NaN/inf in a corpus would
+  // otherwise flow silently into every downstream statistic.
+  for (const char* bad_value : {"nan", "inf", "-inf", "1e999"}) {
+    std::string bad = TinyCorpusText();
+    const size_t pos = bad.find("T 0.5 0.6");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 9, std::string("T 0.5 ") + bad_value);
+    Result<Corpus> corpus = ParseCorpus(bad);
+    ASSERT_FALSE(corpus.ok()) << bad_value << " parsed";
+    EXPECT_NE(corpus.status().message().find("T line"), std::string::npos)
+        << corpus.status().ToString();
+    EXPECT_NE(corpus.status().message().find("line 5"), std::string::npos)
+        << corpus.status().ToString();
+  }
+}
+
+TEST(CorpusTest, RejectsNonFiniteMedianOnRLine) {
+  std::string bad = TinyCorpusText();
+  const size_t pos = bad.find("0.5\nN");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 3, "nan");
+  Result<Corpus> corpus = ParseCorpus(bad);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().message().find("R line"), std::string::npos);
+  EXPECT_NE(corpus.status().message().find("line 3"), std::string::npos)
+      << corpus.status().ToString();
+}
+
+TEST(CorpusTest, RejectsNonFiniteFeatureValue) {
+  std::string bad = TinyCorpusText();
+  const size_t pos = bad.find("0:1.5");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 5, "0:inf");
+  Result<Corpus> corpus = ParseCorpus(bad);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().message().find("sparse"), std::string::npos);
+}
+
 TEST(CorpusTest, RejectsNegativeCountsInRecordHeader) {
   // Pipeline count -1 in the R line.
   std::string bad = TinyCorpusText();

@@ -55,6 +55,13 @@ struct Args {
   bool json = false;
 };
 
+/// Prints a diagnostic and fails; ParseArgs errors all route through here so
+/// bad input exits with usage (status 2) and a reason.
+bool ArgError(const char* flag, const char* detail) {
+  std::fprintf(stderr, "t3_datagen: %s %s\n", flag, detail);
+  return false;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->command = argv[1];
@@ -62,16 +69,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       args->json = true;
-    } else if (arg == "--seed" && i + 1 < argc) {
-      args->seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--scale" && i + 1 < argc) {
-      args->scale = std::strtod(argv[++i], nullptr);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      args->threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) return ArgError("--seed", "requires a value");
+      if (!ParseUint64(argv[++i], &args->seed)) {
+        return ArgError("--seed", "must be an unsigned integer");
+      }
+    } else if (arg == "--scale") {
+      if (i + 1 >= argc) return ArgError("--scale", "requires a value");
+      if (!ParseDouble(argv[++i], &args->scale) || args->scale <= 0.0) {
+        return ArgError("--scale", "must be a finite number > 0");
+      }
+    } else if (arg == "--threads") {
+      uint64_t threads = 0;
+      if (i + 1 >= argc) return ArgError("--threads", "requires a value");
+      if (!ParseUint64(argv[++i], &threads) || threads > 1024) {
+        return ArgError("--threads", "must be an unsigned integer <= 1024");
+      }
+      args->threads = static_cast<size_t>(threads);
     } else if (!arg.empty() && arg[0] != '-' && args->instance.empty()) {
       args->instance = arg;
     } else {
-      return false;
+      return ArgError(arg.c_str(), "is not a recognized argument");
     }
   }
   return true;
@@ -208,12 +226,13 @@ int RunGenerate(const InstanceSpec& spec, const Args& args, bool with_stats) {
               range = StrFormat("[%g, %g]", stats.min_f64, stats.max_f64);
               break;
             case ColumnType::kDate:
-              range = "[" + FormatDate(stats.min_i64) + ", " +
-                      FormatDate(stats.max_i64) + "]";
+              range = StrFormat("[%s, %s]", FormatDate(stats.min_i64).c_str(),
+                                FormatDate(stats.max_i64).c_str());
               break;
             case ColumnType::kString:
-              range = "[" + stats.min_str.substr(0, 16) + ", " +
-                      stats.max_str.substr(0, 16) + "]";
+              range = StrFormat("[%s, %s]",
+                                stats.min_str.substr(0, 16).c_str(),
+                                stats.max_str.substr(0, 16).c_str());
               break;
           }
         }

@@ -1,0 +1,220 @@
+// t3_explain — build a canned plan over a generated instance, run it through
+// the vectorized executor, and print the ExplainAnalyze report (per-pipeline
+// wall times + per-operator tuple counts). CI's smoke step runs this to
+// prove plan building, pipeline decomposition, and execution work end to end.
+//
+//   t3_explain <instance> [--seed N] [--scale X] [--query QUERY]
+//
+// QUERY picks the canned plan shape:
+//   agg   (default) — scan largest table -> filter -> group-by aggregate
+//   join            — fact scan -> FK hash join -> global count
+//   sort            — scan largest table -> sort -> limit 10
+//
+// Exit status: 0 success, 1 execution error, 2 usage error.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "engine/executor.h"
+#include "plan/pipeline.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+
+namespace t3 {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: t3_explain <instance> [--seed N] [--scale X] "
+               "[--query agg|join|sort]\n");
+  return 2;
+}
+
+struct Args {
+  std::string instance;
+  std::string query = "agg";
+  uint64_t seed = 42;
+  double scale = 0.0;  // 0 = the instance's own scale.
+};
+
+bool ArgError(const char* flag, const char* detail) {
+  std::fprintf(stderr, "t3_explain: %s %s\n", flag, detail);
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->instance = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      if (i + 1 >= argc) return ArgError("--seed", "requires a value");
+      if (!ParseUint64(argv[++i], &args->seed)) {
+        return ArgError("--seed", "must be an unsigned integer");
+      }
+    } else if (arg == "--scale") {
+      if (i + 1 >= argc) return ArgError("--scale", "requires a value");
+      if (!ParseDouble(argv[++i], &args->scale) || args->scale <= 0.0) {
+        return ArgError("--scale", "must be a finite number > 0");
+      }
+    } else if (arg == "--query") {
+      if (i + 1 >= argc) return ArgError("--query", "requires a value");
+      args->query = argv[++i];
+      if (args->query != "agg" && args->query != "join" &&
+          args->query != "sort") {
+        return ArgError("--query", "must be one of: agg, join, sort");
+      }
+    } else {
+      return ArgError(arg.c_str(), "is not a recognized argument");
+    }
+  }
+  return true;
+}
+
+const Table& LargestTable(const Catalog& catalog) {
+  size_t best = 0;
+  for (size_t t = 1; t < catalog.num_tables(); ++t) {
+    if (catalog.table(t).num_rows() > catalog.table(best).num_rows()) {
+      best = t;
+    }
+  }
+  return catalog.table(best);
+}
+
+int FindColumnOfType(const Table& table, bool want_float) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnType type = table.column(c).type();
+    if (want_float ? type == ColumnType::kFloat64 : IsIntegerBacked(type)) {
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+/// First FK relationship in the instance spec: (fact table, fk column index,
+/// dim table, sequential key column index).
+struct FkJoin {
+  std::string fact;
+  std::string dim;
+  int fk_col = -1;
+  int key_col = -1;
+};
+
+std::optional<FkJoin> FindFkJoin(const InstanceSpec& spec) {
+  for (const TableSpec& table : spec.tables) {
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c].dist != DistKind::kForeignKey) continue;
+      for (const TableSpec& target : spec.tables) {
+        if (target.name != table.columns[c].fk_table) continue;
+        for (size_t k = 0; k < target.columns.size(); ++k) {
+          if (target.columns[k].dist == DistKind::kSequential) {
+            return FkJoin{table.name, target.name, static_cast<int>(c),
+                          static_cast<int>(k)};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<PhysicalPlan> BuildQuery(const Catalog& catalog,
+                                const InstanceSpec& spec,
+                                const std::string& query) {
+  // The canned shapes only reference columns whose types were just checked,
+  // so builder steps cannot fail; Result::operator* asserts that.
+  PlanBuilder builder(&catalog);
+  if (query == "join") {
+    const std::optional<FkJoin> fk = FindFkJoin(spec);
+    if (!fk.has_value()) {
+      return InvalidArgumentError(
+          "instance has no foreign-key relationship; use --query agg");
+    }
+    const int probe = *builder.Scan(fk->fact);
+    const int build = *builder.Scan(fk->dim, {fk->key_col});
+    const int join = *builder.HashJoin(probe, build, {fk->fk_col}, {0});
+    const int agg =
+        *builder.HashAggregate(join, {}, {{AggFunc::kCountStar, -1}});
+    return builder.Output(agg);
+  }
+
+  const Table& table = LargestTable(catalog);
+  const int value_col = FindColumnOfType(table, /*want_float=*/true);
+  if (value_col < 0) {
+    return InvalidArgumentError(
+        StrFormat("table %s has no float64 column", table.name().c_str()));
+  }
+  if (query == "sort") {
+    const int scan = *builder.Scan(table.name());
+    const int sort = *builder.Sort(scan, {{value_col, true}});
+    return builder.Output(*builder.Limit(sort, 10));
+  }
+  const int group_col = FindColumnOfType(table, /*want_float=*/false);
+  if (group_col < 0) {
+    return InvalidArgumentError(
+        StrFormat("table %s has no integer column", table.name().c_str()));
+  }
+  const int scan = *builder.Scan(table.name());
+  const int filter =
+      *builder.Filter(scan, {{value_col, CompareOp::kGt, 0.0}});
+  const int agg = *builder.HashAggregate(
+      filter, {group_col},
+      {{AggFunc::kCountStar, -1}, {AggFunc::kSum, value_col}});
+  return builder.Output(agg);
+}
+
+int Run(const Args& args) {
+  Result<const InstanceSpec*> spec = FindInstance(args.instance);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "t3_explain: %s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  DatagenOptions options;
+  options.seed = args.seed;
+  options.scale_override = args.scale;
+  Result<Catalog> catalog = GenerateInstance(**spec, options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "t3_explain: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<PhysicalPlan> plan = BuildQuery(*catalog, **spec, args.query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "t3_explain: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<PipelineDecomposition> decomposition = DecomposePipelines(*plan);
+  if (!decomposition.ok()) {
+    std::fprintf(stderr, "t3_explain: %s\n",
+                 decomposition.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", DecompositionToString(*plan, *decomposition).c_str());
+
+  const Executor executor(*catalog);
+  Result<ExplainAnalyze> run = executor.Execute(*plan);
+  if (!run.ok()) {
+    std::fprintf(stderr, "t3_explain: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", run->ToString(*plan).c_str());
+  std::printf("result rows: %llu\n",
+              static_cast<unsigned long long>(run->result_rows()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace t3
+
+int main(int argc, char** argv) {
+  t3::Args args;
+  if (!t3::ParseArgs(argc, argv, &args)) return t3::Usage();
+  return t3::Run(args);
+}
