@@ -3,6 +3,7 @@
 // every generated structure group.
 
 #include "bench_util.h"
+#include "querygen/querygen.h"
 
 namespace t3 {
 namespace {
@@ -22,19 +23,22 @@ void Run() {
   // Fixed benchmark queries first.
   {
     const auto records = SelectRecords(corpus, bench::IsTestFixed);
-    const QErrorSummary summary =
-        Summarize(EvaluateModel(t3, records, CardinalityMode::kTrue));
-    table.AddRow({"Fixed", StrFormat("%zu", summary.count),
-                  bench::FormatQ(summary.p50), bench::FormatQ(summary.p90),
-                  bench::FormatQ(summary.avg)});
+    if (!records.empty()) {
+      const QErrorSummary summary = SummarizeQErrors(
+          QErrors(t3, records, CardinalityMode::kTrue));
+      table.AddRow({"Fixed", StrFormat("%zu", summary.count),
+                    bench::FormatQ(summary.p50), bench::FormatQ(summary.p90),
+                    bench::FormatQ(summary.avg)});
+    }
   }
   for (QueryGroup group : AllQueryGroups()) {
     const auto records = SelectRecords(corpus, [group](const QueryRecord& r) {
-      return r.is_test && !r.fixed_suite && r.group == group;
+      return r.is_test && !r.fixed_suite &&
+             r.structure_group == static_cast<int>(group);
     });
     if (records.empty()) continue;
     const QErrorSummary summary =
-        Summarize(EvaluateModel(t3, records, CardinalityMode::kTrue));
+        SummarizeQErrors(QErrors(t3, records, CardinalityMode::kTrue));
     table.AddRow({QueryGroupName(group), StrFormat("%zu", summary.count),
                   bench::FormatQ(summary.p50), bench::FormatQ(summary.p90),
                   bench::FormatQ(summary.avg)});

@@ -1,6 +1,9 @@
 #include "bench_util.h"
 
-#include "harness/runner.h"
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "querygen/suites.h"
 
 namespace t3 {
@@ -8,16 +11,17 @@ namespace bench {
 
 JobWorkload BuildJobWorkload(int runs) {
   JobWorkload workload;
-  for (const InstanceSpec& spec : StandardCorpus()) {
-    if (spec.family == SchemaFamily::kImdbLike) {
-      workload.db = GenerateInstance(spec);
-      break;
-    }
-  }
-  T3_CHECK(workload.db != nullptr);
-  std::vector<GeneratedQuery> suite = JobLikeSuite(*workload.db);
-  for (auto& query : suite) {
-    auto bench_result = BenchmarkQuery(*workload.db, &query.plan, runs);
+  ThreadPool pool(4);
+  Result<Database> db = GenerateDatabase("imdb_sf1", /*seed=*/42,
+                                         /*scale_override=*/0.0, &pool);
+  T3_CHECK_OK(db);
+  workload.db = std::make_unique<Database>(*std::move(db));
+  Result<std::vector<GeneratedQuery>> suite =
+      JobLikeSuite(workload.db->catalog());
+  T3_CHECK_OK(suite);
+  for (GeneratedQuery& query : *suite) {
+    Result<QueryRecord> bench_result =
+        BenchmarkQuery(*workload.db, query, runs);
     if (!bench_result.ok()) continue;  // drop queries the engine rejects
     workload.median_seconds.push_back(bench_result->median_seconds);
     workload.queries.push_back(std::move(query));

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "harness/corpus.h"
 #include "harness/evaluate.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 #include "harness/workbench.h"
 
 namespace t3 {

@@ -1,0 +1,62 @@
+#include "features/feature_registry.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace t3 {
+
+FeatureRegistry::FeatureRegistry() {
+  const std::vector<StageDef>& catalog = StageCatalog();
+  stage_feature_.assign(catalog.size(),
+                        std::vector<int>(kNumFeatureKinds, -1));
+  for (size_t s = 0; s < catalog.size(); ++s) {
+    for (FeatureKind kind : catalog[s].kinds) {
+      T3_CHECK(kind != FeatureKind::kPredicatePercentage);
+      FeatureDef def;
+      def.name = std::string(catalog[s].name) + "_" + FeatureKindName(kind);
+      def.kind = kind;
+      def.stage = static_cast<int>(s);
+      T3_CHECK(stage_feature_[s][static_cast<size_t>(kind)] == -1);
+      stage_feature_[s][static_cast<size_t>(kind)] =
+          static_cast<int>(defs_.size());
+      defs_.push_back(std::move(def));
+    }
+  }
+  const int num_pred = kNumPredClasses * kNumPredColumnTypes;
+  pred_feature_.assign(static_cast<size_t>(num_pred), -1);
+  for (int slot = 0; slot < num_pred; ++slot) {
+    FeatureDef def;
+    def.name = std::string("Pred_") + PredClassSlotName(slot) + "_percentage";
+    def.kind = FeatureKind::kPredicatePercentage;
+    def.pred_slot = slot;
+    pred_feature_[static_cast<size_t>(slot)] = static_cast<int>(defs_.size());
+    defs_.push_back(std::move(def));
+  }
+  T3_CHECK(static_cast<int>(defs_.size()) == kFeatureDim);
+}
+
+const FeatureRegistry& FeatureRegistry::Get() {
+  static const FeatureRegistry* registry = new FeatureRegistry();
+  return *registry;
+}
+
+int FeatureRegistry::StageFeature(int stage, FeatureKind kind) const {
+  if (stage < 0 || stage >= static_cast<int>(stage_feature_.size())) return -1;
+  return stage_feature_[static_cast<size_t>(stage)][static_cast<size_t>(kind)];
+}
+
+int FeatureRegistry::PredFeature(int pred_slot) const {
+  T3_CHECK(pred_slot >= 0 &&
+           pred_slot < static_cast<int>(pred_feature_.size()));
+  return pred_feature_[static_cast<size_t>(pred_slot)];
+}
+
+int FeatureRegistry::FindByName(const std::string& name) const {
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace t3

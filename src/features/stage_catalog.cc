@@ -1,0 +1,170 @@
+#include "features/stage_catalog.h"
+
+#include "common/check.h"
+
+namespace t3 {
+
+const char* FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kCount:
+      return "count";
+    case FeatureKind::kInCard:
+      return "in_card";
+    case FeatureKind::kOutCard:
+      return "out_card";
+    case FeatureKind::kInSize:
+      return "in_size";
+    case FeatureKind::kOutSize:
+      return "out_size";
+    case FeatureKind::kInPercentage:
+      return "in_percentage";
+    case FeatureKind::kOutPercentage:
+      return "out_percentage";
+    case FeatureKind::kRightPercentage:
+      return "right_percentage";
+    case FeatureKind::kPredicatePercentage:
+      return "pred_percentage";
+  }
+  return "?";
+}
+
+const std::vector<StageDef>& StageCatalog() {
+  // Which kinds a stage carries follows what varies for it: sources and
+  // breaker scans see absolute volumes (card/size) since they *define* the
+  // pipeline's flow; streaming stages see percentages of the driving
+  // cardinality; sinks that materialize see both their input share and the
+  // absolute size of what they build.
+  static const std::vector<StageDef>* catalog = new std::vector<StageDef>{
+      {PlanOp::kScan,
+       OpStage::kScan,
+       "TableScan_Scan",
+       {FeatureKind::kCount, FeatureKind::kInCard, FeatureKind::kInSize}},
+      {PlanOp::kFilter,
+       OpStage::kPassThrough,
+       "Filter_PassThrough",
+       {FeatureKind::kCount, FeatureKind::kInPercentage,
+        FeatureKind::kOutPercentage}},
+      {PlanOp::kProject,
+       OpStage::kPassThrough,
+       "Project_PassThrough",
+       {FeatureKind::kCount, FeatureKind::kInPercentage}},
+      {PlanOp::kHashJoin,
+       OpStage::kProbe,
+       "HashJoin_Probe",
+       {FeatureKind::kCount, FeatureKind::kInPercentage,
+        FeatureKind::kRightPercentage, FeatureKind::kOutPercentage,
+        FeatureKind::kOutCard, FeatureKind::kOutSize}},
+      {PlanOp::kHashJoin,
+       OpStage::kBuild,
+       "HashJoin_Build",
+       {FeatureKind::kCount, FeatureKind::kInPercentage, FeatureKind::kInCard,
+        FeatureKind::kInSize}},
+      {PlanOp::kHashAggregate,
+       OpStage::kBuild,
+       "GroupBy_Build",
+       {FeatureKind::kCount, FeatureKind::kInPercentage,
+        FeatureKind::kOutPercentage, FeatureKind::kOutCard}},
+      {PlanOp::kHashAggregate,
+       OpStage::kScan,
+       "GroupBy_Scan",
+       {FeatureKind::kCount, FeatureKind::kInCard, FeatureKind::kInSize}},
+      {PlanOp::kSort,
+       OpStage::kBuild,
+       "Sort_Build",
+       {FeatureKind::kCount, FeatureKind::kInPercentage, FeatureKind::kInCard,
+        FeatureKind::kInSize}},
+      {PlanOp::kSort,
+       OpStage::kScan,
+       "Sort_Scan",
+       {FeatureKind::kCount, FeatureKind::kInCard, FeatureKind::kInSize}},
+      {PlanOp::kLimit,
+       OpStage::kPassThrough,
+       "Limit_PassThrough",
+       {FeatureKind::kCount, FeatureKind::kOutPercentage,
+        FeatureKind::kOutCard}},
+      {PlanOp::kOutput,
+       OpStage::kSink,
+       "Output_Sink",
+       {FeatureKind::kCount, FeatureKind::kInPercentage, FeatureKind::kOutCard,
+        FeatureKind::kOutSize}},
+  };
+  return *catalog;
+}
+
+int StageIndexOf(PlanOp op, OpStage stage) {
+  const std::vector<StageDef>& catalog = StageCatalog();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].op == op && catalog[i].stage == stage) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+OpStage PipelineStageAt(const PhysicalPlan& plan,
+                        const std::vector<int>& pipeline_nodes,
+                        size_t position, bool builds_hash_table) {
+  T3_CHECK(position < pipeline_nodes.size());
+  const PlanOp op = plan.nodes[static_cast<size_t>(pipeline_nodes[position])].op;
+  if (position == 0) {
+    // A breaker leading the node list is the source scanning its own
+    // materialized output; otherwise the source is a table scan.
+    return OpStage::kScan;
+  }
+  if (position + 1 == pipeline_nodes.size()) {
+    // Sink: the output root, a join build (build-side pipelines end at the
+    // join), or a breaker's build stage.
+    if (op == PlanOp::kOutput) return OpStage::kSink;
+    if (op == PlanOp::kHashJoin) {
+      T3_CHECK(builds_hash_table);
+      return OpStage::kBuild;
+    }
+    return OpStage::kBuild;
+  }
+  if (op == PlanOp::kHashJoin) return OpStage::kProbe;
+  return OpStage::kPassThrough;
+}
+
+int PredClassSlot(CompareOp cmp, ColumnType type) {
+  int type_index = -1;
+  switch (type) {
+    case ColumnType::kInt64:
+      type_index = 0;
+      break;
+    case ColumnType::kFloat64:
+      type_index = 1;
+      break;
+    case ColumnType::kDate:
+      type_index = 2;
+      break;
+    case ColumnType::kString:
+      return -1;
+  }
+  PredClass cls = PredClass::kRange;
+  switch (cmp) {
+    case CompareOp::kEq:
+      cls = PredClass::kEq;
+      break;
+    case CompareOp::kNe:
+      cls = PredClass::kNeq;
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      cls = PredClass::kRange;
+      break;
+  }
+  return static_cast<int>(cls) * kNumPredColumnTypes + type_index;
+}
+
+const char* PredClassSlotName(int slot) {
+  static const char* const kNames[] = {
+      "eq_int",    "eq_float",    "eq_date",    "neq_int",  "neq_float",
+      "neq_date",  "range_int",   "range_float", "range_date",
+  };
+  T3_CHECK(slot >= 0 && slot < kNumPredClasses * kNumPredColumnTypes);
+  return kNames[slot];
+}
+
+}  // namespace t3

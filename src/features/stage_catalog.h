@@ -1,0 +1,90 @@
+#ifndef T3_FEATURES_STAGE_CATALOG_H_
+#define T3_FEATURES_STAGE_CATALOG_H_
+
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/types.h"
+
+namespace t3 {
+
+/// Execution stage of an operator within one pipeline. A pipeline breaker
+/// appears in two pipelines under two different stages (T3 §3): a hash
+/// aggregate is the Build sink of its input pipeline and the Scan source of
+/// its consumer pipeline; a hash join is the Build sink of its build-side
+/// pipeline and a Probe mid-pipeline operator of its probe pipeline.
+enum class OpStage {
+  kScan = 0,     ///< Pipeline source (table scan or breaker output scan).
+  kBuild,        ///< Pipeline sink materializing state (hash table, heap).
+  kProbe,        ///< Streaming lookup into previously built state.
+  kPassThrough,  ///< Streaming operator with no cross-pipeline state.
+  kSink,         ///< The plan's final output materialization.
+};
+
+/// Which per-stage feature values the featurizer emits. The registry
+/// (features/feature_registry.h) assigns one vector index per applicable
+/// (stage, kind) pair; kPredicatePercentage indexes are per predicate class
+/// instead of per stage.
+enum class FeatureKind {
+  kCount = 0,            ///< Occurrences of the stage in the pipeline.
+  kInCard,               ///< Absolute input cardinality.
+  kOutCard,              ///< Absolute output cardinality.
+  kInSize,               ///< Input tuple width in bytes.
+  kOutSize,              ///< Output tuple width in bytes.
+  kInPercentage,         ///< Input cardinality / pipeline driving cardinality.
+  kOutPercentage,        ///< Output cardinality / driving cardinality.
+  kRightPercentage,      ///< Build-side cardinality / driving cardinality.
+  kPredicatePercentage,  ///< Per predicate class: filtered input percentage.
+};
+
+inline constexpr int kNumFeatureKinds = 9;
+
+/// "count", "in_card", ... — the suffix of registry feature names.
+const char* FeatureKindName(FeatureKind kind);
+
+/// One operator-stage of the catalog: a (PlanOp, OpStage) pair, its stable
+/// display name ("HashJoin_Probe"), and the feature kinds emitted for it in
+/// registry index order.
+struct StageDef {
+  PlanOp op = PlanOp::kScan;
+  OpStage stage = OpStage::kScan;
+  const char* name = nullptr;
+  std::vector<FeatureKind> kinds;
+};
+
+/// The fixed operator-stage catalog, in registry index order. Appending new
+/// stages is allowed; reordering or renaming existing entries changes every
+/// feature index and breaks saved corpora and models.
+const std::vector<StageDef>& StageCatalog();
+
+/// Catalog index of (op, stage), or -1 when the pair is not in the catalog.
+int StageIndexOf(PlanOp op, OpStage stage);
+
+/// Stage of the node at `position` within a pipeline's node list, following
+/// the decomposition's conventions: position 0 is the source (a scan, or a
+/// breaker scanning its materialized state), the last position is the sink
+/// (output, join build, or breaker build), and everything between streams
+/// (filters/projections/limits pass through; joins probe).
+OpStage PipelineStageAt(const PhysicalPlan& plan,
+                        const std::vector<int>& pipeline_nodes,
+                        size_t position, bool builds_hash_table);
+
+// --- Predicate classes. ---
+
+/// Comparison class of a filter predicate: equality, inequality, or range.
+enum class PredClass { kEq = 0, kNeq, kRange };
+
+inline constexpr int kNumPredClasses = 3;
+inline constexpr int kNumPredColumnTypes = 3;  // int64, float64, date
+
+/// Predicate-class feature slot of (cmp, column type) in [0, 9), or -1 for
+/// unsupported (string) columns. Slots are ordered class-major:
+/// eq/neq/range x int/float/date.
+int PredClassSlot(CompareOp cmp, ColumnType type);
+
+/// "eq_int", "range_date", ... — the middle of predicate feature names.
+const char* PredClassSlotName(int slot);
+
+}  // namespace t3
+
+#endif  // T3_FEATURES_STAGE_CATALOG_H_

@@ -38,6 +38,19 @@ size_t Forest::NumLeaves() const {
   return n;
 }
 
+std::vector<int> FeatureSplitCounts(const Forest& forest) {
+  std::vector<int> counts(static_cast<size_t>(forest.num_features), 0);
+  for (const Tree& tree : forest.trees) {
+    for (const TreeNode& node : tree.nodes) {
+      if (node.is_leaf) continue;
+      if (node.feature >= 0 && node.feature < static_cast<int>(counts.size())) {
+        ++counts[static_cast<size_t>(node.feature)];
+      }
+    }
+  }
+  return counts;
+}
+
 namespace {
 
 void AppendDouble(std::string* out, double value) {

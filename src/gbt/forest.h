@@ -96,6 +96,11 @@ struct Forest {
   Status Validate() const;
 };
 
+/// How often each feature index appears as a split across the forest, a
+/// size-num_features histogram. The feature-importance proxy the ablation
+/// bench ranks features by (LightGBM's "split" importance).
+std::vector<int> FeatureSplitCounts(const Forest& forest);
+
 /// Reads a whole file; NotFound/Unavailable on error. Shared by forest,
 /// model, and corpus loaders.
 Result<std::string> ReadFileToString(const std::string& path);

@@ -33,17 +33,20 @@ std::vector<const QueryRecord*> SelectRecords(
   return selected;
 }
 
-double PredictQuerySeconds(const T3Model& model, const QueryRecord& record) {
+double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
+                           CardinalityMode mode) {
+  const std::vector<PipelineFeatures>& features_set =
+      mode == CardinalityMode::kTrue ? record.feat_true : record.feat_est;
   if (model.target() == PredictionTarget::kPerQuery) {
-    if (record.feat_true.empty()) return 0.0;
+    if (features_set.empty()) return 0.0;
     // Per-query models are trained on a single per-query vector; until the
     // feature module reconstructs that exact vector we use the first
     // pipeline's features, which carry the query-level counts.
-    return model.PredictPipelineSeconds(record.feat_true[0].values.data(),
-                                        record.feat_true[0].input_cardinality);
+    return model.PredictPipelineSeconds(features_set[0].values.data(),
+                                        features_set[0].input_cardinality);
   }
   double total = 0.0;
-  for (const PipelineFeatures& features : record.feat_true) {
+  for (const PipelineFeatures& features : features_set) {
     total += model.PredictPipelineSeconds(features.values.data(),
                                           features.input_cardinality);
   }
@@ -51,12 +54,13 @@ double PredictQuerySeconds(const T3Model& model, const QueryRecord& record) {
 }
 
 std::vector<double> QErrors(const T3Model& model,
-                            const std::vector<const QueryRecord*>& records) {
+                            const std::vector<const QueryRecord*>& records,
+                            CardinalityMode mode) {
   std::vector<double> q_errors;
   q_errors.reserve(records.size());
   for (const QueryRecord* record : records) {
-    q_errors.push_back(
-        QError(PredictQuerySeconds(model, *record), record->median_seconds));
+    q_errors.push_back(QError(PredictQuerySeconds(model, *record, mode),
+                              record->median_seconds));
   }
   return q_errors;
 }

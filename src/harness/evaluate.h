@@ -32,15 +32,20 @@ std::vector<const QueryRecord*> SelectRecords(
     const Corpus& corpus,
     const std::function<bool(const QueryRecord&)>& predicate);
 
+/// Which stored feature set predictions read: measured cardinalities ("FT"
+/// lines) or the estimator's ("FE" lines, Figure 11's degraded setting).
+enum class CardinalityMode { kTrue = 0, kEstimated = 1 };
+
 /// Predicted total seconds of one corpus query under `model`: per-pipeline
-/// predictions (on features with true cardinalities) summed over pipelines
-/// for per-tuple/per-pipeline targets; single per-query prediction
-/// otherwise.
-double PredictQuerySeconds(const T3Model& model, const QueryRecord& record);
+/// predictions summed over pipelines for per-tuple/per-pipeline targets;
+/// single per-query prediction otherwise.
+double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
+                           CardinalityMode mode = CardinalityMode::kTrue);
 
 /// Q-errors of `model` over `records` against measured medians.
 std::vector<double> QErrors(const T3Model& model,
-                            const std::vector<const QueryRecord*>& records);
+                            const std::vector<const QueryRecord*>& records,
+                            CardinalityMode mode = CardinalityMode::kTrue);
 
 }  // namespace t3
 

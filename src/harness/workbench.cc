@@ -7,13 +7,16 @@
 
 #include "analysis/forest_diff.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "gbt/trainer.h"
+#include "harness/runner.h"
 
 namespace t3 {
 namespace {
 
 constexpr char kCorpusFile[] = "corpus_q40_r10.txt";
+constexpr char kLiveCorpusCache[] = "cache_corpus_live.txt";
 constexpr char kMainModelCache[] = "cache_model_main.txt";
 
 }  // namespace
@@ -23,18 +26,44 @@ Workbench::Workbench(std::string data_dir) : data_dir_(std::move(data_dir)) {}
 Workbench::~Workbench() = default;
 
 const Corpus& Workbench::corpus() {
-  if (corpus_ == nullptr) {
-    const std::string path = data_dir_ + "/" + kCorpusFile;
-    Result<Corpus> loaded = LoadCorpusFromFile(path);
+  if (corpus_ != nullptr) return *corpus_;
+
+  // Preference order: the full benchmarked fixture (when present), then a
+  // previously generated live corpus, then a fresh live build (datagen ->
+  // querygen -> engine -> featurizer) cached for subsequent binaries.
+  const std::string fixture_path = data_dir_ + "/" + kCorpusFile;
+  Result<Corpus> loaded = LoadCorpusFromFile(fixture_path);
+  if (!loaded.ok()) {
+    const std::string cache_path = data_dir_ + "/" + kLiveCorpusCache;
+    loaded = LoadCorpusFromFile(cache_path);
     if (!loaded.ok()) {
       std::fprintf(stderr,
-                   "Workbench: cannot load corpus %s (%s). Run bench "
-                   "binaries from the repository root.\n",
-                   path.c_str(), loaded.status().ToString().c_str());
-      T3_CHECK(loaded.ok());
+                   "Workbench: no corpus fixture at %s; generating a live "
+                   "corpus (all instances; this takes a few minutes on "
+                   "first run)...\n",
+                   fixture_path.c_str());
+      ThreadPool pool(4);
+      LiveCorpusOptions options;
+      options.pool = &pool;
+      Stopwatch timer;
+      Result<Corpus> live = BuildLiveCorpus(options);
+      if (!live.ok()) {
+        std::fprintf(stderr, "Workbench: live corpus build failed: %s\n",
+                     live.status().ToString().c_str());
+        T3_CHECK(live.ok());
+      }
+      std::fprintf(stderr,
+                   "Workbench: built live corpus: %zu records in %.1fs\n",
+                   live->records.size(), timer.ElapsedSeconds());
+      const Status saved = SaveCorpusToFile(*live, cache_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "Workbench: cannot cache live corpus: %s\n",
+                     saved.ToString().c_str());
+      }
+      loaded = *std::move(live);
     }
-    corpus_ = std::make_unique<Corpus>(*std::move(loaded));
   }
+  corpus_ = std::make_unique<Corpus>(*std::move(loaded));
   return *corpus_;
 }
 

@@ -1,0 +1,518 @@
+#include "querygen/querygen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/column_stats.h"
+
+namespace t3 {
+
+const char* QueryGroupName(QueryGroup group) {
+  switch (group) {
+    case QueryGroup::kSe:
+      return "Se";
+    case QueryGroup::kSeP:
+      return "SeP";
+    case QueryGroup::kA:
+      return "A";
+    case QueryGroup::kSeA:
+      return "SeA";
+    case QueryGroup::kSi:
+      return "Si";
+    case QueryGroup::kSiL:
+      return "SiL";
+    case QueryGroup::kSiA:
+      return "SiA";
+    case QueryGroup::kJ:
+      return "J";
+    case QueryGroup::kSeJ:
+      return "SeJ";
+    case QueryGroup::kJA:
+      return "JA";
+    case QueryGroup::kSeJA:
+      return "SeJA";
+    case QueryGroup::kSeJSi:
+      return "SeJSi";
+    case QueryGroup::kSeJSiA:
+      return "SeJSiA";
+    case QueryGroup::kCSe:
+      return "CSe";
+    case QueryGroup::kCSeJA:
+      return "CSeJA";
+    case QueryGroup::kCSeJSiL:
+      return "CSeJSiL";
+  }
+  return "?";
+}
+
+const std::vector<QueryGroup>& AllQueryGroups() {
+  static const std::vector<QueryGroup>* groups = [] {
+    auto* all = new std::vector<QueryGroup>;
+    for (int code = 0; code < kNumQueryGroups; ++code) {
+      all->push_back(static_cast<QueryGroup>(code));
+    }
+    return all;
+  }();
+  return *groups;
+}
+
+Result<QueryGroup> QueryGroupFromCode(int code) {
+  if (code < 0 || code >= kNumQueryGroups) {
+    return InvalidArgumentError(
+        StrFormat("query group code %d out of range [0, %d)", code,
+                  kNumQueryGroups));
+  }
+  return static_cast<QueryGroup>(code);
+}
+
+namespace {
+
+/// True when the column's statistics look like a dense sequential primary
+/// key: int64, no NULLs, exactly covering [0, rows). The NDV check tolerates
+/// the KMV sketch's estimation error above kNdvSketchSize distinct values.
+bool LooksLikePk(const ColumnStats& stats, uint64_t rows) {
+  if (stats.type != ColumnType::kInt64 || rows == 0) return false;
+  if (stats.null_count != 0 || !stats.has_range) return false;
+  if (stats.min_i64 != 0 || stats.max_i64 != static_cast<int64_t>(rows) - 1) {
+    return false;
+  }
+  return static_cast<double>(stats.ndv) >= 0.7 * static_cast<double>(rows);
+}
+
+/// SplitMix64-style mixing of (seed, group, index) into one per-query PRNG
+/// seed, so every query draws from an independent deterministic stream.
+uint64_t MixSeed(uint64_t seed, uint64_t group, uint64_t index) {
+  uint64_t x =
+      seed + 0x9e3779b97f4a7c15ULL * (group * 1315423911ULL + index + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Which primitives a structure group composes.
+struct GroupShape {
+  bool selection = false;
+  bool projection = false;
+  bool aggregation = false;
+  bool sort = false;
+  bool limit = false;
+  int min_joins = 0;
+  int max_joins = 0;
+};
+
+GroupShape ShapeOf(QueryGroup group) {
+  GroupShape s;
+  switch (group) {
+    case QueryGroup::kSe:
+      s.selection = true;
+      break;
+    case QueryGroup::kSeP:
+      s.selection = s.projection = true;
+      break;
+    case QueryGroup::kA:
+      s.aggregation = true;
+      break;
+    case QueryGroup::kSeA:
+      s.selection = s.aggregation = true;
+      break;
+    case QueryGroup::kSi:
+      s.sort = true;
+      break;
+    case QueryGroup::kSiL:
+      s.sort = s.limit = true;
+      break;
+    case QueryGroup::kSiA:
+      s.aggregation = s.sort = true;
+      break;
+    case QueryGroup::kJ:
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kSeJ:
+      s.selection = true;
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kJA:
+      s.aggregation = true;
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kSeJA:
+      s.selection = s.aggregation = true;
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kSeJSi:
+      s.selection = s.sort = true;
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kSeJSiA:
+      s.selection = s.aggregation = s.sort = true;
+      s.min_joins = s.max_joins = 1;
+      break;
+    case QueryGroup::kCSe:
+      s.selection = true;
+      s.min_joins = 2;
+      s.max_joins = 3;
+      break;
+    case QueryGroup::kCSeJA:
+      s.selection = s.aggregation = true;
+      s.min_joins = 2;
+      s.max_joins = 3;
+      break;
+    case QueryGroup::kCSeJSiL:
+      s.selection = s.sort = s.limit = true;
+      s.min_joins = 2;
+      s.max_joins = 3;
+      break;
+  }
+  return s;
+}
+
+bool IsNumericStats(const ColumnStats& stats) {
+  return stats.type != ColumnType::kString;
+}
+
+/// Columns a sampled predicate may reference: numeric/date with a computed
+/// histogram (at least one non-null value).
+std::vector<int> EligiblePredicateColumns(const Table& table) {
+  std::vector<int> eligible;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnStats& stats = table.stats()[c];
+    if (!IsNumericStats(stats) || !stats.has_range) continue;
+    if (stats.histogram_bounds.size() != kNumHistogramBuckets + 1) continue;
+    eligible.push_back(static_cast<int>(c));
+  }
+  return eligible;
+}
+
+struct SampledPredicate {
+  FilterPredicate pred;
+  double selectivity = 1.0;
+};
+
+/// Draws one predicate on `column` from its statistics: range predicates
+/// take an equi-depth histogram boundary as the constant (so the estimated
+/// selectivity is the boundary's depth fraction), equality/inequality draw a
+/// domain value and estimate through 1/NDV. All estimates discount NULLs,
+/// which never pass a predicate.
+SampledPredicate SamplePredicate(Rng* rng, const ColumnStats& stats,
+                                 int column) {
+  SampledPredicate out;
+  out.pred.column = column;
+  const std::vector<double>& bounds = stats.histogram_bounds;
+  const double not_null = 1.0 - stats.null_fraction();
+  const double ndv = static_cast<double>(std::max<uint64_t>(stats.ndv, 1));
+  const double roll = rng->Unit();
+  if (roll < 0.6) {
+    const int64_t bucket =
+        rng->UniformInt(1, static_cast<int64_t>(kNumHistogramBuckets) - 1);
+    const double fraction =
+        static_cast<double>(bucket) / static_cast<double>(kNumHistogramBuckets);
+    static constexpr CompareOp kDirections[] = {CompareOp::kLt, CompareOp::kLe,
+                                                CompareOp::kGt, CompareOp::kGe};
+    const int64_t direction = rng->UniformInt(0, 3);
+    out.pred.cmp = kDirections[direction];
+    out.pred.constant = bounds[static_cast<size_t>(bucket)];
+    out.selectivity = (direction < 2 ? fraction : 1.0 - fraction) * not_null;
+  } else {
+    const bool equality = roll < 0.85;
+    if (IsIntegerBacked(stats.type)) {
+      out.pred.constant = static_cast<double>(
+          rng->UniformInt(stats.min_i64, std::max(stats.min_i64, stats.max_i64)));
+    } else {
+      out.pred.constant = bounds[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(kNumHistogramBuckets)))];
+    }
+    out.pred.cmp = equality ? CompareOp::kEq : CompareOp::kNe;
+    out.selectivity =
+        equality ? not_null / ndv : not_null * (1.0 - 1.0 / ndv);
+  }
+  out.selectivity = std::clamp(out.selectivity, 0.0, 1.0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinEdge> DiscoverJoinEdges(const Catalog& catalog) {
+  std::vector<JoinEdge> edges;
+  // Primary-key candidates first.
+  std::vector<std::pair<size_t, size_t>> pks;
+  for (size_t t = 0; t < catalog.num_tables(); ++t) {
+    const Table& table = catalog.table(t);
+    T3_CHECK(table.stats().size() == table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (LooksLikePk(table.stats()[c], table.num_rows())) {
+        pks.emplace_back(t, c);
+        break;  // One key per table; the first sequential column wins.
+      }
+    }
+  }
+  for (size_t t = 0; t < catalog.num_tables(); ++t) {
+    const Table& table = catalog.table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const ColumnStats& stats = table.stats()[c];
+      if (stats.type != ColumnType::kInt64 || !stats.has_range) continue;
+      if (LooksLikePk(stats, table.num_rows())) continue;
+      if (stats.min_i64 < 0) continue;
+      for (const auto& [pt, pc] : pks) {
+        if (pt == t) continue;
+        const ColumnStats& pk = catalog.table(pt).stats()[pc];
+        // The FK's observed range must fit inside the key domain and cover a
+        // meaningful part of it (skewed FKs still reach well past half).
+        if (stats.max_i64 > pk.max_i64) continue;
+        if (4 * stats.max_i64 < pk.max_i64) continue;
+        edges.push_back(JoinEdge{t, c, pt, pc});
+      }
+    }
+  }
+  return edges;
+}
+
+QueryGenerator::QueryGenerator(const Catalog* catalog, uint64_t seed)
+    : catalog_(catalog), seed_(seed), edges_(DiscoverJoinEdges(*catalog)) {}
+
+Result<GeneratedQuery> QueryGenerator::Generate(QueryGroup group, int index) {
+  const GroupShape shape = ShapeOf(group);
+  const uint64_t query_seed =
+      MixSeed(seed_, static_cast<uint64_t>(group), static_cast<uint64_t>(index));
+  Rng rng(query_seed);
+  PlanBuilder builder(catalog_);
+
+  // --- Base table (the fact of join groups). ---
+  size_t fact = 0;
+  if (shape.max_joins > 0) {
+    if (edges_.empty()) {
+      return FailedPreconditionError(StrFormat(
+          "group %s needs a join but no FK edge was discovered",
+          QueryGroupName(group)));
+    }
+    const JoinEdge& edge = edges_[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(edges_.size()) - 1))];
+    fact = edge.fk_table;
+  } else {
+    // Any table works; selection groups need a predicate-eligible column,
+    // which every instance's tables have (keys are at least eligible).
+    std::vector<size_t> tables;
+    for (size_t t = 0; t < catalog_->num_tables(); ++t) {
+      if (!shape.selection ||
+          !EligiblePredicateColumns(catalog_->table(t)).empty()) {
+        tables.push_back(t);
+      }
+    }
+    if (tables.empty()) {
+      return FailedPreconditionError(
+          "no table has a predicate-eligible column");
+    }
+    fact = tables[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(tables.size()) - 1))];
+  }
+
+  const Table& fact_table = catalog_->table(fact);
+  Result<int> scan = builder.Scan(fact_table.name());
+  if (!scan.ok()) return scan.status();
+  int current = *scan;
+  // Origin (table, column) of every current output column, for statistics
+  // lookups after joins/projections; (-1, -1) once untracked (post-agg).
+  std::vector<std::pair<int, int>> origins;
+  for (size_t c = 0; c < fact_table.num_columns(); ++c) {
+    origins.emplace_back(static_cast<int>(fact), static_cast<int>(c));
+  }
+
+  // --- Selection: 1-2 statistics-sampled predicates on the base scan. ---
+  if (shape.selection) {
+    std::vector<int> eligible = EligiblePredicateColumns(fact_table);
+    if (eligible.empty()) {
+      return FailedPreconditionError(StrFormat(
+          "table %s has no predicate-eligible column",
+          fact_table.name().c_str()));
+    }
+    rng.Shuffle(&eligible);
+    const size_t num_predicates =
+        std::min(eligible.size(), rng.Bernoulli(0.4) ? size_t{2} : size_t{1});
+    std::vector<FilterPredicate> predicates;
+    double selectivity = 1.0;
+    for (size_t i = 0; i < num_predicates; ++i) {
+      SampledPredicate sampled = SamplePredicate(
+          &rng, fact_table.stats()[static_cast<size_t>(eligible[i])],
+          eligible[i]);
+      selectivity *= sampled.selectivity;
+      predicates.push_back(sampled.pred);
+    }
+    const double input_rows = builder.node(current).cardinality;
+    Result<int> filter = builder.Filter(current, std::move(predicates));
+    if (!filter.ok()) return filter.status();
+    builder.node(*filter).cardinality =
+        std::max(1.0, input_rows * selectivity);
+    current = *filter;
+  }
+
+  // --- Joins: extend the probe side along discovered FK edges. ---
+  const int64_t want_joins =
+      shape.max_joins == 0
+          ? 0
+          : rng.UniformInt(shape.min_joins, shape.max_joins);
+  std::vector<size_t> joined = {fact};
+  for (int64_t j = 0; j < want_joins; ++j) {
+    std::vector<std::pair<int, JoinEdge>> candidates;  // probe column, edge
+    for (const JoinEdge& edge : edges_) {
+      if (std::find(joined.begin(), joined.end(), edge.pk_table) !=
+          joined.end()) {
+        continue;
+      }
+      for (size_t p = 0; p < origins.size(); ++p) {
+        if (origins[p].first == static_cast<int>(edge.fk_table) &&
+            origins[p].second == static_cast<int>(edge.fk_column)) {
+          candidates.emplace_back(static_cast<int>(p), edge);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      if (j == 0) {
+        return FailedPreconditionError(StrFormat(
+            "no FK edge reachable from table %s", fact_table.name().c_str()));
+      }
+      break;  // Chain shorter than drawn; the group still has >= 1 join.
+    }
+    const auto& [probe_key, edge] = candidates[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+    const Table& dim = catalog_->table(edge.pk_table);
+    Result<int> dim_scan = builder.Scan(dim.name());
+    if (!dim_scan.ok()) return dim_scan.status();
+    Result<int> join =
+        builder.HashJoin(current, *dim_scan, {probe_key},
+                         {static_cast<int>(edge.pk_column)});
+    if (!join.ok()) return join.status();
+    current = *join;
+    joined.push_back(edge.pk_table);
+    for (size_t c = 0; c < dim.num_columns(); ++c) {
+      origins.emplace_back(static_cast<int>(edge.pk_table),
+                           static_cast<int>(c));
+    }
+  }
+
+  // --- Projection: a random non-empty column subset, in schema order. ---
+  if (shape.projection) {
+    const size_t width = builder.schema(current).size();
+    std::vector<int> all(width);
+    for (size_t c = 0; c < width; ++c) all[c] = static_cast<int>(c);
+    rng.Shuffle(&all);
+    all.resize(static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(width))));
+    std::sort(all.begin(), all.end());
+    std::vector<std::pair<int, int>> kept;
+    for (int c : all) kept.push_back(origins[static_cast<size_t>(c)]);
+    Result<int> project = builder.Project(current, std::move(all));
+    if (!project.ok()) return project.status();
+    current = *project;
+    origins = std::move(kept);
+  }
+
+  // --- Aggregation: group by an integer-backed column (NDV-estimated), or
+  // a global aggregate. ---
+  if (shape.aggregation) {
+    const std::vector<ColumnType>& schema = builder.schema(current);
+    std::vector<int> group_candidates;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (!IsIntegerBacked(schema[c])) continue;
+      const auto& [ot, oc] = origins[c];
+      if (ot < 0) continue;
+      if (catalog_->table(static_cast<size_t>(ot))
+              .stats()[static_cast<size_t>(oc)]
+              .ndv < 2) {
+        continue;
+      }
+      group_candidates.push_back(static_cast<int>(c));
+    }
+    std::vector<int> group_by;
+    double groups_estimate = 1.0;
+    if (!group_candidates.empty() && !rng.Bernoulli(0.2)) {
+      const int column = group_candidates[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(group_candidates.size()) - 1))];
+      group_by.push_back(column);
+      const auto& [ot, oc] = origins[static_cast<size_t>(column)];
+      groups_estimate = static_cast<double>(
+          catalog_->table(static_cast<size_t>(ot))
+              .stats()[static_cast<size_t>(oc)]
+              .ndv);
+    }
+    std::vector<AggregateSpec> aggregates = {{AggFunc::kCountStar, -1}};
+    std::vector<int> float_columns;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (schema[c] == ColumnType::kFloat64) {
+        float_columns.push_back(static_cast<int>(c));
+      }
+    }
+    if (!float_columns.empty() && rng.Bernoulli(0.7)) {
+      static constexpr AggFunc kValueAggs[] = {AggFunc::kSum, AggFunc::kMin,
+                                               AggFunc::kMax};
+      aggregates.push_back(
+          {kValueAggs[rng.UniformInt(0, 2)],
+           float_columns[static_cast<size_t>(rng.UniformInt(
+               0, static_cast<int64_t>(float_columns.size()) - 1))]});
+    }
+    const double input_rows = builder.node(current).cardinality;
+    Result<int> agg = builder.HashAggregate(current, std::move(group_by),
+                                            std::move(aggregates));
+    if (!agg.ok()) return agg.status();
+    builder.node(*agg).cardinality =
+        std::max(1.0, std::min(groups_estimate, input_rows));
+    current = *agg;
+    origins.assign(builder.schema(current).size(), {-1, -1});
+  }
+
+  // --- Sort: 1-2 numeric keys of the current schema. ---
+  if (shape.sort) {
+    const std::vector<ColumnType>& schema = builder.schema(current);
+    std::vector<int> numeric;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (schema[c] != ColumnType::kString) {
+        numeric.push_back(static_cast<int>(c));
+      }
+    }
+    if (numeric.empty()) {
+      return FailedPreconditionError("no sortable column in schema");
+    }
+    rng.Shuffle(&numeric);
+    std::vector<SortKey> keys;
+    const size_t num_keys =
+        std::min(numeric.size(), rng.Bernoulli(0.3) ? size_t{2} : size_t{1});
+    for (size_t k = 0; k < num_keys; ++k) {
+      keys.push_back({numeric[k], rng.Bernoulli(0.5)});
+    }
+    Result<int> sort = builder.Sort(current, std::move(keys));
+    if (!sort.ok()) return sort.status();
+    current = *sort;
+  }
+
+  // --- Limit. ---
+  if (shape.limit) {
+    Result<int> limit = builder.Limit(current, 10 * rng.UniformInt(1, 20));
+    if (!limit.ok()) return limit.status();
+    current = *limit;
+  }
+
+  Result<PhysicalPlan> plan = builder.Output(current);
+  if (!plan.ok()) return plan.status();
+
+  GeneratedQuery query;
+  query.name = StrFormat("%s_%d", QueryGroupName(group), index);
+  query.structure_group = static_cast<int>(group);
+  query.fixed_suite = false;
+  query.seed = query_seed;
+  query.plan = *std::move(plan);
+  return query;
+}
+
+std::vector<GeneratedQuery> QueryGenerator::GenerateAll(int queries_per_group) {
+  std::vector<GeneratedQuery> queries;
+  for (QueryGroup group : AllQueryGroups()) {
+    for (int index = 0; index < queries_per_group; ++index) {
+      Result<GeneratedQuery> query = Generate(group, index);
+      if (query.ok()) queries.push_back(*std::move(query));
+    }
+  }
+  return queries;
+}
+
+}  // namespace t3

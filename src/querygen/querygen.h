@@ -1,0 +1,106 @@
+#ifndef T3_QUERYGEN_QUERYGEN_H_
+#define T3_QUERYGEN_QUERYGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+
+namespace t3 {
+
+/// The 16 random query-structure groups of the training corpus (T3 §4 /
+/// Figure 8). Group letters compose the primitives a query contains:
+/// Se = selection (filter), P = projection, A = aggregation, Si = sort,
+/// L = limit, J = one join, C = a chain of joins. The numeric codes are the
+/// `group` values on corpus "R" lines and must never be renumbered.
+///
+/// The paper's window group (W) is pending with the window operator (plan op
+/// code 7, reserved); its slot here is taken by the SeP projection group so
+/// the corpus still spans 16 structures.
+enum class QueryGroup : int {
+  kSe = 0,
+  kSeP = 1,
+  kA = 2,
+  kSeA = 3,
+  kSi = 4,
+  kSiL = 5,
+  kSiA = 6,
+  kJ = 7,
+  kSeJ = 8,
+  kJA = 9,
+  kSeJA = 10,
+  kSeJSi = 11,
+  kSeJSiA = 12,
+  kCSe = 13,
+  kCSeJA = 14,
+  kCSeJSiL = 15,
+};
+
+inline constexpr int kNumQueryGroups = 16;
+
+/// "Se", "SeJA", ... (stable; used in reports and bench tables).
+const char* QueryGroupName(QueryGroup group);
+
+/// All 16 groups in code order.
+const std::vector<QueryGroup>& AllQueryGroups();
+
+/// Group for a corpus code, or kInvalidArgument.
+Result<QueryGroup> QueryGroupFromCode(int code);
+
+/// One generated query: a payload-carrying plan (executable by the engine)
+/// plus the corpus bookkeeping the "R" line records.
+struct GeneratedQuery {
+  std::string name;          ///< "SeJA_3" or a fixed-suite name ("tpch_q5").
+  int structure_group = 0;   ///< QueryGroup code (fixed suites reuse 0).
+  bool fixed_suite = false;
+  uint64_t seed = 0;         ///< Per-query PRNG seed (0 for fixed suites).
+  PhysicalPlan plan;
+};
+
+/// A foreign-key join edge discovered from column statistics alone:
+/// `pk_table.pk_column` looks like a sequential primary key (dense 0..n-1,
+/// no NULLs) and `fk_table.fk_column`'s value range fits inside it.
+struct JoinEdge {
+  size_t fk_table = 0;
+  size_t fk_column = 0;
+  size_t pk_table = 0;
+  size_t pk_column = 0;
+};
+
+/// All FK->PK edges of a catalog, discovered from stats (ComputeStats must
+/// have run, as datagen always does). Deterministic: pure function of the
+/// stats, ordered by (fk_table, fk_column, pk_table).
+std::vector<JoinEdge> DiscoverJoinEdges(const Catalog& catalog);
+
+/// Seeded random query generator over one catalog. Deterministic: a query is
+/// a pure function of (catalog statistics, generator seed, group, index), so
+/// regenerating an instance at any thread count reproduces bit-identical
+/// plans. Predicate constants and selectivity estimates are sampled from the
+/// catalog's ColumnStats (histogram boundaries, NDVs, null fractions);
+/// estimates overwrite the PlanBuilder's defaults, so "FE" features reflect
+/// the statistics-driven estimator.
+class QueryGenerator {
+ public:
+  QueryGenerator(const Catalog* catalog, uint64_t seed);
+
+  /// The `index`-th query of a structure group. Fails (kFailedPrecondition)
+  /// only when the catalog cannot express the group at all, e.g. a chain
+  /// group over a catalog with no discoverable join edge.
+  Result<GeneratedQuery> Generate(QueryGroup group, int index);
+
+  /// Generate for every group x [0, queries_per_group); groups the catalog
+  /// cannot express are skipped.
+  std::vector<GeneratedQuery> GenerateAll(int queries_per_group);
+
+ private:
+  const Catalog* catalog_;
+  uint64_t seed_;
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace t3
+
+#endif  // T3_QUERYGEN_QUERYGEN_H_

@@ -1,0 +1,356 @@
+#include "querygen/suites.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/types.h"
+
+namespace t3 {
+namespace {
+
+/// Index of a named column within its table, or kNotFound. The fixed suites
+/// address base-table columns by name and joined schemas by base index plus
+/// the probe side's width, so a schema-family mismatch fails here instead of
+/// building a wrong plan.
+Result<int> Col(const Catalog& catalog, const char* table_name,
+                const char* column_name) {
+  Result<const Table*> table = catalog.FindTable(table_name);
+  if (!table.ok()) return table.status();
+  for (size_t c = 0; c < (*table)->num_columns(); ++c) {
+    if ((*table)->column(c).name() == column_name) return static_cast<int>(c);
+  }
+  return NotFoundError(StrFormat("column %s.%s not found", table_name,
+                                 column_name));
+}
+
+Result<int> Width(const Catalog& catalog, const char* table_name) {
+  Result<const Table*> table = catalog.FindTable(table_name);
+  if (!table.ok()) return table.status();
+  return static_cast<int>((*table)->num_columns());
+}
+
+double Date(int year, int month, int day) {
+  return static_cast<double>(DaysFromCivil(year, month, day));
+}
+
+GeneratedQuery Fixed(const char* name, PhysicalPlan plan) {
+  GeneratedQuery query;
+  query.name = name;
+  query.structure_group = 0;
+  query.fixed_suite = true;
+  query.seed = 0;
+  query.plan = std::move(plan);
+  return query;
+}
+
+// The suites below thread Result values manually; T3_SUITE_ASSIGN keeps the
+// happy path readable (every builder step can only fail on a schema-family
+// mismatch, which the caller reports).
+#define T3_SUITE_ASSIGN(var, expr)         \
+  auto var##_result = (expr);              \
+  if (!var##_result.ok()) return var##_result.status(); \
+  const auto var = *std::move(var##_result)
+
+}  // namespace
+
+Result<std::vector<GeneratedQuery>> TpchLikeSuite(const Catalog& catalog) {
+  T3_SUITE_ASSIGN(l_order, Col(catalog, "lineitem", "l_order"));
+  T3_SUITE_ASSIGN(l_supp, Col(catalog, "lineitem", "l_supp"));
+  T3_SUITE_ASSIGN(l_qty, Col(catalog, "lineitem", "l_qty"));
+  T3_SUITE_ASSIGN(l_price, Col(catalog, "lineitem", "l_price"));
+  T3_SUITE_ASSIGN(l_discount, Col(catalog, "lineitem", "l_discount"));
+  T3_SUITE_ASSIGN(l_ship, Col(catalog, "lineitem", "l_ship"));
+  T3_SUITE_ASSIGN(li_width, Width(catalog, "lineitem"));
+  T3_SUITE_ASSIGN(o_id, Col(catalog, "orders", "o_id"));
+  T3_SUITE_ASSIGN(o_cust, Col(catalog, "orders", "o_cust"));
+  T3_SUITE_ASSIGN(o_date, Col(catalog, "orders", "o_date"));
+  T3_SUITE_ASSIGN(o_width, Width(catalog, "orders"));
+  T3_SUITE_ASSIGN(c_id, Col(catalog, "customer", "c_id"));
+  T3_SUITE_ASSIGN(c_nation, Col(catalog, "customer", "c_nation"));
+  T3_SUITE_ASSIGN(s_id, Col(catalog, "supplier", "s_id"));
+  T3_SUITE_ASSIGN(s_nation, Col(catalog, "supplier", "s_nation"));
+  T3_SUITE_ASSIGN(s_width, Width(catalog, "supplier"));
+  T3_SUITE_ASSIGN(n_id, Col(catalog, "nation", "n_id"));
+  T3_SUITE_ASSIGN(n_region, Col(catalog, "nation", "n_region"));
+
+  std::vector<GeneratedQuery> suite;
+  PlanBuilder b(&catalog);
+
+  {
+    // q1-like: shipped-before summary grouped by quantity.
+    T3_SUITE_ASSIGN(scan, b.Scan("lineitem"));
+    T3_SUITE_ASSIGN(filter, b.Filter(scan, {{l_ship, CompareOp::kLe,
+                                             Date(1998, 9, 1)}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {l_qty},
+                                         {{AggFunc::kCountStar, -1},
+                                          {AggFunc::kSum, l_price}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpch_q1", plan));
+  }
+  {
+    // q3-like: revenue of pre-cutoff orders per customer nation.
+    T3_SUITE_ASSIGN(scan, b.Scan("lineitem"));
+    T3_SUITE_ASSIGN(orders, b.Scan("orders"));
+    T3_SUITE_ASSIGN(j1, b.HashJoin(scan, orders, {l_order}, {o_id}));
+    T3_SUITE_ASSIGN(customer, b.Scan("customer"));
+    T3_SUITE_ASSIGN(j2, b.HashJoin(j1, customer, {li_width + o_cust}, {c_id}));
+    T3_SUITE_ASSIGN(filter, b.Filter(j2, {{li_width + o_date, CompareOp::kLt,
+                                           Date(1995, 3, 15)}}));
+    T3_SUITE_ASSIGN(agg,
+                    b.HashAggregate(filter, {li_width + o_width + c_nation},
+                                    {{AggFunc::kCountStar, -1},
+                                     {AggFunc::kSum, l_price}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpch_q3", plan));
+  }
+  {
+    // q5-like: line items per supplier region.
+    T3_SUITE_ASSIGN(scan, b.Scan("lineitem"));
+    T3_SUITE_ASSIGN(supplier, b.Scan("supplier"));
+    T3_SUITE_ASSIGN(j1, b.HashJoin(scan, supplier, {l_supp}, {s_id}));
+    T3_SUITE_ASSIGN(nation, b.Scan("nation"));
+    T3_SUITE_ASSIGN(j2, b.HashJoin(j1, nation, {li_width + s_nation}, {n_id}));
+    T3_SUITE_ASSIGN(agg,
+                    b.HashAggregate(j2, {li_width + s_width + n_region},
+                                    {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpch_q5", plan));
+  }
+  {
+    // q6-like: revenue of a quantity/discount/date band.
+    T3_SUITE_ASSIGN(scan, b.Scan("lineitem"));
+    T3_SUITE_ASSIGN(filter,
+                    b.Filter(scan, {{l_ship, CompareOp::kGe, Date(1994, 1, 1)},
+                                    {l_discount, CompareOp::kGe, 0.05},
+                                    {l_qty, CompareOp::kLt, 24.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {},
+                                         {{AggFunc::kSum, l_price}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpch_q6", plan));
+  }
+  {
+    // q13-like: order counts per customer nation, busiest first.
+    T3_SUITE_ASSIGN(orders, b.Scan("orders"));
+    T3_SUITE_ASSIGN(customer, b.Scan("customer"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(orders, customer, {o_cust}, {c_id}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(join, {o_width + c_nation},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{1, false}}));
+    T3_SUITE_ASSIGN(plan, b.Output(sort));
+    suite.push_back(Fixed("tpch_q13", plan));
+  }
+  {
+    // q18-like: top orders by revenue.
+    T3_SUITE_ASSIGN(scan, b.Scan("lineitem"));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(scan, {l_order},
+                                         {{AggFunc::kCountStar, -1},
+                                          {AggFunc::kSum, l_price}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{2, false}}));
+    T3_SUITE_ASSIGN(limit, b.Limit(sort, 100));
+    T3_SUITE_ASSIGN(plan, b.Output(limit));
+    suite.push_back(Fixed("tpch_q18", plan));
+  }
+  return suite;
+}
+
+Result<std::vector<GeneratedQuery>> TpcdsLikeSuite(const Catalog& catalog) {
+  T3_SUITE_ASSIGN(ss_cust, Col(catalog, "store_sales", "ss_cust"));
+  T3_SUITE_ASSIGN(ss_store, Col(catalog, "store_sales", "ss_store"));
+  T3_SUITE_ASSIGN(ss_date, Col(catalog, "store_sales", "ss_date"));
+  T3_SUITE_ASSIGN(ss_qty, Col(catalog, "store_sales", "ss_qty"));
+  T3_SUITE_ASSIGN(ss_price, Col(catalog, "store_sales", "ss_price"));
+  T3_SUITE_ASSIGN(ss_net, Col(catalog, "store_sales", "ss_net"));
+  T3_SUITE_ASSIGN(ss_width, Width(catalog, "store_sales"));
+  T3_SUITE_ASSIGN(d_id, Col(catalog, "date_dim", "d_id"));
+  T3_SUITE_ASSIGN(d_year, Col(catalog, "date_dim", "d_year"));
+  T3_SUITE_ASSIGN(d_moy, Col(catalog, "date_dim", "d_moy"));
+  T3_SUITE_ASSIGN(cu_id, Col(catalog, "customer", "cu_id"));
+  T3_SUITE_ASSIGN(cu_birth, Col(catalog, "customer", "cu_birth"));
+  T3_SUITE_ASSIGN(st_id, Col(catalog, "store", "st_id"));
+  T3_SUITE_ASSIGN(sr_item, Col(catalog, "store_returns", "sr_item"));
+  T3_SUITE_ASSIGN(sr_amount, Col(catalog, "store_returns", "sr_amount"));
+
+  std::vector<GeneratedQuery> suite;
+  PlanBuilder b(&catalog);
+
+  {
+    // q3-like: November net sales per year.
+    T3_SUITE_ASSIGN(sales, b.Scan("store_sales"));
+    T3_SUITE_ASSIGN(dates, b.Scan("date_dim"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(sales, dates, {ss_date}, {d_id}));
+    T3_SUITE_ASSIGN(filter, b.Filter(join, {{ss_width + d_moy, CompareOp::kEq,
+                                             11.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {ss_width + d_year},
+                                         {{AggFunc::kCountStar, -1},
+                                          {AggFunc::kSum, ss_net}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpcds_q3", plan));
+  }
+  {
+    // q7-like: sales to pre-1980 customers per store.
+    T3_SUITE_ASSIGN(sales, b.Scan("store_sales"));
+    T3_SUITE_ASSIGN(customer, b.Scan("customer"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(sales, customer, {ss_cust}, {cu_id}));
+    T3_SUITE_ASSIGN(filter,
+                    b.Filter(join, {{ss_width + cu_birth, CompareOp::kLt,
+                                     Date(1980, 1, 1)}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {ss_store},
+                                         {{AggFunc::kCountStar, -1},
+                                          {AggFunc::kSum, ss_price}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpcds_q7", plan));
+  }
+  {
+    // q42-like: bulk sales net revenue per store, highest first.
+    T3_SUITE_ASSIGN(sales, b.Scan("store_sales"));
+    T3_SUITE_ASSIGN(filter, b.Filter(sales, {{ss_qty, CompareOp::kGt, 50.0}}));
+    T3_SUITE_ASSIGN(stores, b.Scan("store"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(filter, stores, {ss_store}, {st_id}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(join, {ss_store},
+                                         {{AggFunc::kSum, ss_net}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{1, false}}));
+    T3_SUITE_ASSIGN(plan, b.Output(sort));
+    suite.push_back(Fixed("tpcds_q42", plan));
+  }
+  {
+    // q98-like: recent sales per month in calendar order.
+    T3_SUITE_ASSIGN(sales, b.Scan("store_sales"));
+    T3_SUITE_ASSIGN(dates, b.Scan("date_dim"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(sales, dates, {ss_date}, {d_id}));
+    T3_SUITE_ASSIGN(filter, b.Filter(join, {{ss_width + d_year, CompareOp::kGe,
+                                             2000.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {ss_width + d_moy},
+                                         {{AggFunc::kCountStar, -1},
+                                          {AggFunc::kSum, ss_price}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{0, true}}));
+    T3_SUITE_ASSIGN(plan, b.Output(sort));
+    suite.push_back(Fixed("tpcds_q98", plan));
+  }
+  {
+    // Returns-focused: large refunds per item.
+    T3_SUITE_ASSIGN(returns, b.Scan("store_returns"));
+    T3_SUITE_ASSIGN(filter, b.Filter(returns, {{sr_amount, CompareOp::kGt,
+                                                50.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {sr_item},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("tpcds_ret", plan));
+  }
+  {
+    // Top line items by net value.
+    T3_SUITE_ASSIGN(sales, b.Scan("store_sales"));
+    T3_SUITE_ASSIGN(sort, b.Sort(sales, {{ss_net, false}, {ss_price, true}}));
+    T3_SUITE_ASSIGN(limit, b.Limit(sort, 100));
+    T3_SUITE_ASSIGN(plan, b.Output(limit));
+    suite.push_back(Fixed("tpcds_top", plan));
+  }
+  return suite;
+}
+
+Result<std::vector<GeneratedQuery>> JobLikeSuite(const Catalog& catalog) {
+  T3_SUITE_ASSIGN(t_id, Col(catalog, "title", "t_id"));
+  T3_SUITE_ASSIGN(t_year, Col(catalog, "title", "t_year"));
+  T3_SUITE_ASSIGN(ci_title, Col(catalog, "cast_info", "ci_title"));
+  T3_SUITE_ASSIGN(ci_person, Col(catalog, "cast_info", "ci_person"));
+  T3_SUITE_ASSIGN(ci_width, Width(catalog, "cast_info"));
+  T3_SUITE_ASSIGN(n_id, Col(catalog, "name", "n_id"));
+  T3_SUITE_ASSIGN(co_id, Col(catalog, "company", "co_id"));
+  T3_SUITE_ASSIGN(co_width, Width(catalog, "company"));
+  T3_SUITE_ASSIGN(mc_title, Col(catalog, "movie_companies", "mc_title"));
+  T3_SUITE_ASSIGN(mc_company, Col(catalog, "movie_companies", "mc_company"));
+  T3_SUITE_ASSIGN(mc_width, Width(catalog, "movie_companies"));
+  T3_SUITE_ASSIGN(mi_title, Col(catalog, "movie_info", "mi_title"));
+  T3_SUITE_ASSIGN(mi_width, Width(catalog, "movie_info"));
+
+  std::vector<GeneratedQuery> suite;
+  PlanBuilder b(&catalog);
+
+  {
+    // Cast sizes of recent titles per year.
+    T3_SUITE_ASSIGN(cast, b.Scan("cast_info"));
+    T3_SUITE_ASSIGN(titles, b.Scan("title"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(cast, titles, {ci_title}, {t_id}));
+    T3_SUITE_ASSIGN(filter, b.Filter(join, {{ci_width + t_year, CompareOp::kGt,
+                                             2000.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {ci_width + t_year},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("job_q1", plan));
+  }
+  {
+    // Production credits on post-1990 titles.
+    T3_SUITE_ASSIGN(credits, b.Scan("movie_companies"));
+    T3_SUITE_ASSIGN(companies, b.Scan("company"));
+    T3_SUITE_ASSIGN(j1, b.HashJoin(credits, companies, {mc_company}, {co_id}));
+    T3_SUITE_ASSIGN(titles, b.Scan("title"));
+    T3_SUITE_ASSIGN(j2, b.HashJoin(j1, titles, {mc_title}, {t_id}));
+    T3_SUITE_ASSIGN(filter,
+                    b.Filter(j2, {{mc_width + co_width + t_year,
+                                   CompareOp::kGe, 1990.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(plan, b.Output(agg));
+    suite.push_back(Fixed("job_q2", plan));
+  }
+  {
+    // Info records per title year in a decade band, densest first.
+    T3_SUITE_ASSIGN(info, b.Scan("movie_info"));
+    T3_SUITE_ASSIGN(titles, b.Scan("title"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(info, titles, {mi_title}, {t_id}));
+    T3_SUITE_ASSIGN(filter,
+                    b.Filter(join, {{mi_width + t_year, CompareOp::kGe, 2005.0},
+                                    {mi_width + t_year, CompareOp::kLe,
+                                     2015.0}}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(filter, {mi_width + t_year},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{1, false}}));
+    T3_SUITE_ASSIGN(plan, b.Output(sort));
+    suite.push_back(Fixed("job_q3", plan));
+  }
+  {
+    // Most-credited people.
+    T3_SUITE_ASSIGN(cast, b.Scan("cast_info"));
+    T3_SUITE_ASSIGN(names, b.Scan("name"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(cast, names, {ci_person}, {n_id}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(join, {ci_person},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{1, false}}));
+    T3_SUITE_ASSIGN(limit, b.Limit(sort, 50));
+    T3_SUITE_ASSIGN(plan, b.Output(limit));
+    suite.push_back(Fixed("job_q4", plan));
+  }
+  {
+    // Earliest titles of a year band.
+    T3_SUITE_ASSIGN(titles, b.Scan("title"));
+    T3_SUITE_ASSIGN(filter, b.Filter(titles, {{t_year, CompareOp::kGe, 1950.0},
+                                              {t_year, CompareOp::kLe,
+                                               1990.0}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(filter, {{t_year, true}}));
+    T3_SUITE_ASSIGN(limit, b.Limit(sort, 100));
+    T3_SUITE_ASSIGN(plan, b.Output(limit));
+    suite.push_back(Fixed("job_q5", plan));
+  }
+  {
+    // Most-documented titles.
+    T3_SUITE_ASSIGN(info, b.Scan("movie_info"));
+    T3_SUITE_ASSIGN(titles, b.Scan("title"));
+    T3_SUITE_ASSIGN(join, b.HashJoin(info, titles, {mi_title}, {t_id}));
+    T3_SUITE_ASSIGN(agg, b.HashAggregate(join, {mi_width + t_id},
+                                         {{AggFunc::kCountStar, -1}}));
+    T3_SUITE_ASSIGN(sort, b.Sort(agg, {{1, false}}));
+    T3_SUITE_ASSIGN(limit, b.Limit(sort, 25));
+    T3_SUITE_ASSIGN(plan, b.Output(limit));
+    suite.push_back(Fixed("job_q6", plan));
+  }
+  return suite;
+}
+
+Result<std::vector<GeneratedQuery>> FixedSuiteForFamily(
+    const Catalog& catalog, const std::string& family) {
+  if (family == "tpch") return TpchLikeSuite(catalog);
+  if (family == "tpcds") return TpcdsLikeSuite(catalog);
+  if (family == "imdb") return JobLikeSuite(catalog);
+  return std::vector<GeneratedQuery>{};
+}
+
+}  // namespace t3

@@ -1,0 +1,29 @@
+#ifndef T3_QUERYGEN_SUITES_H_
+#define T3_QUERYGEN_SUITES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "querygen/querygen.h"
+#include "storage/catalog.h"
+
+namespace t3 {
+
+/// Fixed benchmark suites: handcrafted plans over the three benchmark-like
+/// schema families (the corpus's "fixed" queries, evaluated separately from
+/// the random structure groups — Figure 8's "Fixed" row). Each suite is
+/// deterministic, parameter-free, and fails with kNotFound when run against
+/// a catalog of a different family.
+Result<std::vector<GeneratedQuery>> TpchLikeSuite(const Catalog& catalog);
+Result<std::vector<GeneratedQuery>> TpcdsLikeSuite(const Catalog& catalog);
+Result<std::vector<GeneratedQuery>> JobLikeSuite(const Catalog& catalog);
+
+/// The suite matching an instance family ("tpch", "tpcds", "imdb"); an empty
+/// vector for families without a fixed suite.
+Result<std::vector<GeneratedQuery>> FixedSuiteForFamily(
+    const Catalog& catalog, const std::string& family);
+
+}  // namespace t3
+
+#endif  // T3_QUERYGEN_SUITES_H_

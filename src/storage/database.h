@@ -1,0 +1,33 @@
+#ifndef T3_STORAGE_DATABASE_H_
+#define T3_STORAGE_DATABASE_H_
+
+#include <string>
+#include <utility>
+
+#include "storage/catalog.h"
+
+namespace t3 {
+
+/// A generated database instance bound to its name: the unit querygen and
+/// the corpus builder pass around (a corpus "R" line records the instance
+/// name next to the measurements taken on its catalog).
+class Database {
+ public:
+  Database(std::string name, Catalog catalog)
+      : name_(std::move(name)), catalog_(std::move(catalog)) {}
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return catalog_; }
+
+ private:
+  std::string name_;
+  Catalog catalog_;
+};
+
+}  // namespace t3
+
+#endif  // T3_STORAGE_DATABASE_H_

@@ -1,0 +1,229 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "plan/plan.h"
+#include "querygen/querygen.h"
+#include "querygen/suites.h"
+
+namespace t3 {
+namespace {
+
+Catalog Generate(const std::string& instance, ThreadPool* pool = nullptr) {
+  Result<const InstanceSpec*> spec = FindInstance(instance);
+  T3_CHECK_OK(spec);
+  DatagenOptions options;
+  options.scale_override = 0.05;
+  options.pool = pool;
+  Result<Catalog> catalog = GenerateInstance(**spec, options);
+  T3_CHECK_OK(catalog);
+  return *std::move(catalog);
+}
+
+const Catalog& TpchCatalog() {
+  static const Catalog* catalog = new Catalog(Generate("tpch_sf0"));
+  return *catalog;
+}
+
+TEST(QueryGroupTest, CodesNamesAndRoundTrip) {
+  ASSERT_EQ(AllQueryGroups().size(), 16u);
+  std::set<std::string> names;
+  for (QueryGroup group : AllQueryGroups()) {
+    Result<QueryGroup> back = QueryGroupFromCode(static_cast<int>(group));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, group);
+    names.insert(QueryGroupName(group));
+  }
+  EXPECT_EQ(names.size(), 16u);  // All names distinct.
+  EXPECT_STREQ(QueryGroupName(QueryGroup::kSe), "Se");
+  EXPECT_STREQ(QueryGroupName(QueryGroup::kCSeJSiL), "CSeJSiL");
+  EXPECT_FALSE(QueryGroupFromCode(16).ok());
+  EXPECT_FALSE(QueryGroupFromCode(-1).ok());
+}
+
+TEST(QueryGenTest, DiscoversForeignKeyEdges) {
+  const std::vector<JoinEdge> edges = DiscoverJoinEdges(TpchCatalog());
+  ASSERT_FALSE(edges.empty());
+  // Every edge must point at a plausible PK: dense sequential int column.
+  for (const JoinEdge& edge : edges) {
+    const Table& pk = TpchCatalog().table(edge.pk_table);
+    const ColumnStats& stats = pk.stats()[edge.pk_column];
+    EXPECT_EQ(stats.min_i64, 0);
+    EXPECT_EQ(stats.max_i64, static_cast<int64_t>(pk.num_rows()) - 1);
+    EXPECT_NE(edge.fk_table, edge.pk_table);
+  }
+  // lineitem -> orders is the canonical edge and must be found.
+  bool found = false;
+  for (const JoinEdge& edge : edges) {
+    if (TpchCatalog().table(edge.fk_table).name() == "lineitem" &&
+        TpchCatalog().table(edge.pk_table).name() == "orders") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryGenTest, EveryGroupGeneratesValidPlans) {
+  QueryGenerator generator(&TpchCatalog(), 42);
+  for (QueryGroup group : AllQueryGroups()) {
+    for (int index = 0; index < 3; ++index) {
+      Result<GeneratedQuery> query = generator.Generate(group, index);
+      ASSERT_TRUE(query.ok())
+          << QueryGroupName(group) << "_" << index << ": "
+          << query.status().ToString();
+      EXPECT_EQ(query->structure_group, static_cast<int>(group));
+      EXPECT_FALSE(query->fixed_suite);
+      const Status valid = ValidatePlan(query->plan);
+      EXPECT_TRUE(valid.ok())
+          << query->name << ": " << valid.ToString() << "\n"
+          << PlanToString(query->plan);
+    }
+  }
+}
+
+// Structural contracts per group: the ops a group's letters promise.
+TEST(QueryGenTest, GroupsContainTheirPrimitives) {
+  QueryGenerator generator(&TpchCatalog(), 42);
+  struct Expectation {
+    QueryGroup group;
+    PlanOp op;
+    int min_count;
+  };
+  const std::vector<Expectation> expectations = {
+      {QueryGroup::kSe, PlanOp::kFilter, 1},
+      {QueryGroup::kSeP, PlanOp::kProject, 1},
+      {QueryGroup::kA, PlanOp::kHashAggregate, 1},
+      {QueryGroup::kSi, PlanOp::kSort, 1},
+      {QueryGroup::kSiL, PlanOp::kLimit, 1},
+      {QueryGroup::kJ, PlanOp::kHashJoin, 1},
+      {QueryGroup::kSeJA, PlanOp::kHashJoin, 1},
+      {QueryGroup::kSeJA, PlanOp::kHashAggregate, 1},
+      {QueryGroup::kCSe, PlanOp::kHashJoin, 2},
+      {QueryGroup::kCSeJSiL, PlanOp::kHashJoin, 2},
+  };
+  for (const Expectation& expectation : expectations) {
+    for (int index = 0; index < 4; ++index) {
+      Result<GeneratedQuery> query =
+          generator.Generate(expectation.group, index);
+      ASSERT_TRUE(query.ok());
+      int count = 0;
+      for (const PlanNode& node : query->plan.nodes) {
+        if (node.op == expectation.op) ++count;
+      }
+      EXPECT_GE(count, expectation.min_count)
+          << query->name << " lacks ops:\n" << PlanToString(query->plan);
+    }
+  }
+}
+
+TEST(QueryGenTest, SameSeedIsBitIdentical) {
+  QueryGenerator a(&TpchCatalog(), 7);
+  QueryGenerator b(&TpchCatalog(), 7);
+  for (QueryGroup group : AllQueryGroups()) {
+    for (int index = 0; index < 2; ++index) {
+      Result<GeneratedQuery> qa = a.Generate(group, index);
+      Result<GeneratedQuery> qb = b.Generate(group, index);
+      ASSERT_EQ(qa.ok(), qb.ok());
+      if (!qa.ok()) continue;
+      EXPECT_EQ(PlanToString(qa->plan), PlanToString(qb->plan));
+      EXPECT_EQ(qa->name, qb->name);
+      EXPECT_EQ(qa->seed, qb->seed);
+    }
+  }
+}
+
+TEST(QueryGenTest, DifferentSeedsOrIndicesDiffer) {
+  QueryGenerator a(&TpchCatalog(), 7);
+  QueryGenerator b(&TpchCatalog(), 8);
+  int differing = 0;
+  for (int index = 0; index < 4; ++index) {
+    Result<GeneratedQuery> qa = a.Generate(QueryGroup::kSe, index);
+    Result<GeneratedQuery> qb = b.Generate(QueryGroup::kSe, index);
+    ASSERT_TRUE(qa.ok());
+    ASSERT_TRUE(qb.ok());
+    if (PlanToString(qa->plan) != PlanToString(qb->plan)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+
+  Result<GeneratedQuery> q0 = a.Generate(QueryGroup::kSeJ, 0);
+  Result<GeneratedQuery> q1 = a.Generate(QueryGroup::kSeJ, 1);
+  ASSERT_TRUE(q0.ok());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_NE(q0->name, q1->name);
+}
+
+TEST(QueryGenTest, ThreadCountInvariant) {
+  // Queries are a pure function of (catalog stats, seed): a catalog
+  // generated with a worker pool must yield bit-identical plans, matching
+  // datagen's own thread-count invariance.
+  ThreadPool pool(7);
+  const Catalog pooled = Generate("tpch_sf0", &pool);
+  QueryGenerator a(&TpchCatalog(), 123);
+  QueryGenerator b(&pooled, 123);
+  for (QueryGroup group : AllQueryGroups()) {
+    Result<GeneratedQuery> qa = a.Generate(group, 0);
+    Result<GeneratedQuery> qb = b.Generate(group, 0);
+    ASSERT_EQ(qa.ok(), qb.ok());
+    if (!qa.ok()) continue;
+    EXPECT_EQ(PlanToString(qa->plan), PlanToString(qb->plan))
+        << QueryGroupName(group);
+  }
+}
+
+TEST(QueryGenTest, GenerateAllCoversEveryExpressibleGroup) {
+  QueryGenerator generator(&TpchCatalog(), 42);
+  const std::vector<GeneratedQuery> queries = generator.GenerateAll(2);
+  // TPC-H-like catalogs have join edges, so all 16 groups are expressible.
+  EXPECT_EQ(queries.size(), 32u);
+  std::set<int> groups;
+  for (const GeneratedQuery& query : queries) {
+    groups.insert(query.structure_group);
+  }
+  EXPECT_EQ(groups.size(), 16u);
+}
+
+TEST(SuitesTest, FixedSuitesProduceValidNamedPlans) {
+  Result<std::vector<GeneratedQuery>> tpch = TpchLikeSuite(TpchCatalog());
+  ASSERT_TRUE(tpch.ok()) << tpch.status().ToString();
+  EXPECT_EQ(tpch->size(), 6u);
+  for (const GeneratedQuery& query : *tpch) {
+    EXPECT_TRUE(query.fixed_suite);
+    EXPECT_FALSE(query.name.empty());
+    const Status valid = ValidatePlan(query.plan);
+    EXPECT_TRUE(valid.ok()) << query.name << ": " << valid.ToString();
+  }
+
+  const Catalog tpcds = Generate("tpcds_sf0");
+  Result<std::vector<GeneratedQuery>> ds_suite = TpcdsLikeSuite(tpcds);
+  ASSERT_TRUE(ds_suite.ok()) << ds_suite.status().ToString();
+  EXPECT_EQ(ds_suite->size(), 6u);
+
+  const Catalog imdb = Generate("imdb_sf1");
+  Result<std::vector<GeneratedQuery>> job = JobLikeSuite(imdb);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->size(), 6u);
+  for (const GeneratedQuery& query : *job) {
+    EXPECT_TRUE(ValidatePlan(query.plan).ok()) << query.name;
+  }
+}
+
+TEST(SuitesTest, FixedSuiteForFamilyDispatches) {
+  Result<std::vector<GeneratedQuery>> tpch =
+      FixedSuiteForFamily(TpchCatalog(), "tpch");
+  ASSERT_TRUE(tpch.ok());
+  EXPECT_EQ(tpch->size(), 6u);
+  // Families without a fixed suite get an empty vector, not an error.
+  Result<std::vector<GeneratedQuery>> none =
+      FixedSuiteForFamily(TpchCatalog(), "sensor");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+}  // namespace
+}  // namespace t3
