@@ -1,0 +1,252 @@
+#include "analysis/feature_auditor.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+#include "features/feature_registry.h"
+#include "features/stage_catalog.h"
+
+namespace t3 {
+namespace {
+
+const char* OpStageName(OpStage stage) {
+  switch (stage) {
+    case OpStage::kScan:
+      return "scan";
+    case OpStage::kBuild:
+      return "build";
+    case OpStage::kProbe:
+      return "probe";
+    case OpStage::kPassThrough:
+      return "pass-through";
+    case OpStage::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+bool IsPercentageKind(FeatureKind kind) {
+  return kind == FeatureKind::kInPercentage ||
+         kind == FeatureKind::kOutPercentage ||
+         kind == FeatureKind::kRightPercentage ||
+         kind == FeatureKind::kPredicatePercentage;
+}
+
+/// Every executor op class and the operator-stages it must map to; the
+/// featurizer fails at runtime on any pipeline role missing from the
+/// catalog, so lint must fail first.
+struct RequiredStages {
+  PlanOp op;
+  std::vector<OpStage> stages;
+};
+
+const std::vector<RequiredStages>& RequiredStageCoverage() {
+  static const std::vector<RequiredStages>* required =
+      new std::vector<RequiredStages>{
+          {PlanOp::kScan, {OpStage::kScan}},
+          {PlanOp::kFilter, {OpStage::kPassThrough}},
+          {PlanOp::kProject, {OpStage::kPassThrough}},
+          {PlanOp::kHashJoin, {OpStage::kProbe, OpStage::kBuild}},
+          {PlanOp::kHashAggregate, {OpStage::kBuild, OpStage::kScan}},
+          {PlanOp::kSort, {OpStage::kBuild, OpStage::kScan}},
+          {PlanOp::kLimit, {OpStage::kPassThrough}},
+          {PlanOp::kOutput, {OpStage::kSink}},
+      };
+  return *required;
+}
+
+}  // namespace
+
+AnalysisReport FeatureAuditor::AuditRegistry() const {
+  AnalysisReport report;
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  const std::vector<StageDef>& catalog = StageCatalog();
+
+  if (registry.num_features() != kFeatureDim) {
+    report.Add(Severity::kError, "registry-dim", -1, -1,
+               StrFormat("registry has %d features, expected %d",
+                         registry.num_features(), kFeatureDim));
+  }
+
+  std::map<std::string, int> by_name;
+  for (int i = 0; i < registry.num_features(); ++i) {
+    const FeatureDef& def = registry.def(i);
+    auto inserted = by_name.emplace(def.name, i);
+    if (!inserted.second) {
+      report.Add(Severity::kError, "registry-name", -1, i,
+                 StrFormat("name \"%s\" duplicates feature %d",
+                           def.name.c_str(), inserted.first->second));
+    }
+  }
+
+  // Every (stage, kind) of the catalog plus every predicate slot must claim
+  // exactly one in-bounds index, and together they must cover the space.
+  std::vector<int> claimed(static_cast<size_t>(registry.num_features()), 0);
+  auto claim = [&](int index, const std::string& what) {
+    if (index < 0 || index >= registry.num_features()) {
+      report.Add(Severity::kError, "registry-coverage", -1, index,
+                 StrFormat("%s resolves to out-of-bounds index %d",
+                           what.c_str(), index));
+      return;
+    }
+    ++claimed[static_cast<size_t>(index)];
+  };
+  for (size_t s = 0; s < catalog.size(); ++s) {
+    for (FeatureKind kind : catalog[s].kinds) {
+      claim(registry.StageFeature(static_cast<int>(s), kind),
+            StrFormat("%s_%s", catalog[s].name, FeatureKindName(kind)));
+    }
+  }
+  const int num_pred = kNumPredClasses * kNumPredColumnTypes;
+  for (int slot = 0; slot < num_pred; ++slot) {
+    claim(registry.PredFeature(slot),
+          StrFormat("predicate slot %s", PredClassSlotName(slot)));
+  }
+  for (int i = 0; i < registry.num_features(); ++i) {
+    if (claimed[static_cast<size_t>(i)] != 1) {
+      report.Add(Severity::kError, "registry-coverage", -1, i,
+                 StrFormat("index %d claimed %d times (must be exactly "
+                           "once)",
+                           i, claimed[static_cast<size_t>(i)]));
+    }
+  }
+
+  for (const RequiredStages& required : RequiredStageCoverage()) {
+    for (OpStage stage : required.stages) {
+      const int index = StageIndexOf(required.op, stage);
+      if (index < 0) {
+        report.Add(Severity::kError, "registry-stage", -1, -1,
+                   StrFormat("operator %s has no %s stage catalog entry",
+                             PlanOpName(required.op), OpStageName(stage)));
+      }
+    }
+  }
+  for (size_t s = 0; s < catalog.size(); ++s) {
+    if (registry.StageFeature(static_cast<int>(s), FeatureKind::kCount) < 0) {
+      report.Add(Severity::kError, "registry-count", -1, -1,
+                 StrFormat("stage %s carries no count feature",
+                           catalog[s].name));
+    }
+  }
+
+  // Predicate classes must be exhaustive over every comparison x numeric
+  // column type, reject string columns, and carry distinct names.
+  static const CompareOp kAllCompareOps[] = {CompareOp::kLt, CompareOp::kLe,
+                                             CompareOp::kGt, CompareOp::kGe,
+                                             CompareOp::kEq, CompareOp::kNe};
+  static const ColumnType kNumericTypes[] = {
+      ColumnType::kInt64, ColumnType::kFloat64, ColumnType::kDate};
+  for (CompareOp cmp : kAllCompareOps) {
+    for (ColumnType type : kNumericTypes) {
+      const int slot = PredClassSlot(cmp, type);
+      if (slot < 0 || slot >= num_pred) {
+        report.Add(Severity::kError, "registry-pred", -1, -1,
+                   StrFormat("comparison %s has no predicate-class slot",
+                             CompareOpName(cmp)));
+      }
+    }
+    if (PredClassSlot(cmp, ColumnType::kString) != -1) {
+      report.Add(Severity::kError, "registry-pred", -1, -1,
+                 StrFormat("comparison %s maps string columns to a slot",
+                           CompareOpName(cmp)));
+    }
+  }
+  std::map<std::string, int> slot_names;
+  for (int slot = 0; slot < num_pred; ++slot) {
+    auto inserted = slot_names.emplace(PredClassSlotName(slot), slot);
+    if (!inserted.second) {
+      report.Add(Severity::kError, "registry-pred", -1, -1,
+                 StrFormat("slot name \"%s\" duplicates slot %d",
+                           PredClassSlotName(slot),
+                           inserted.first->second));
+    }
+  }
+  return report;
+}
+
+AnalysisReport FeatureAuditor::AuditVector(const std::vector<double>& values,
+                                           const std::string& context) const {
+  AnalysisReport report;
+  if (static_cast<int>(values.size()) != kFeatureDim) {
+    report.Add(Severity::kError, "feature-dim", -1, -1,
+               StrFormat("%s: %zu values, expected %d", context.c_str(),
+                         values.size(), kFeatureDim));
+    return report;  // Indices below would misalign with the registry.
+  }
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  for (int i = 0; i < kFeatureDim; ++i) {
+    const FeatureDef& def = registry.def(i);
+    const double value = values[static_cast<size_t>(i)];
+    if (!std::isfinite(value)) {
+      report.Add(Severity::kError, "feature-finite", -1, i,
+                 StrFormat("%s: %s = %g must be finite", context.c_str(),
+                           def.name.c_str(), value));
+      continue;
+    }
+    if (def.kind == FeatureKind::kCount) {
+      if (value < 0.0 || value != std::floor(value)) {
+        report.Add(Severity::kError, "feature-count", -1, i,
+                   StrFormat("%s: %s = %g must be a non-negative integer",
+                             context.c_str(), def.name.c_str(), value));
+      }
+    } else if (IsPercentageKind(def.kind)) {
+      if (value < 0.0 || value > 100.0) {
+        report.Add(Severity::kError, "feature-range", -1, i,
+                   StrFormat("%s: %s = %g outside [0, 100]",
+                             context.c_str(), def.name.c_str(), value));
+      }
+    } else if (value < 0.0) {
+      report.Add(Severity::kError, "feature-range", -1, i,
+                 StrFormat("%s: %s = %g must be non-negative",
+                           context.c_str(), def.name.c_str(), value));
+    }
+  }
+  return report;
+}
+
+AnalysisReport FeatureAuditor::AuditVectorPair(
+    const std::vector<double>& feat_true, const std::vector<double>& feat_est,
+    const std::string& context) const {
+  AnalysisReport report;
+  if (feat_true.size() != feat_est.size()) {
+    report.Add(Severity::kError, "feature-dim", -1, -1,
+               StrFormat("%s: true dim %zu != estimated dim %zu",
+                         context.c_str(), feat_true.size(),
+                         feat_est.size()));
+    return report;
+  }
+  if (static_cast<int>(feat_true.size()) != kFeatureDim) return report;
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  for (int i = 0; i < kFeatureDim; ++i) {
+    if (registry.def(i).kind != FeatureKind::kCount) continue;
+    if (feat_true[static_cast<size_t>(i)] !=
+        feat_est[static_cast<size_t>(i)]) {
+      report.Add(Severity::kError, "feature-mode", -1, i,
+                 StrFormat("%s: %s differs between modes (%g true vs %g "
+                           "estimated); cardinality mode must never change "
+                           "plan structure",
+                           context.c_str(), registry.def(i).name.c_str(),
+                           feat_true[static_cast<size_t>(i)],
+                           feat_est[static_cast<size_t>(i)]));
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> FeatureAuditor::DeadFeatures(
+    const Forest& forest) const {
+  if (forest.num_features != kFeatureDim) return {};
+  const std::vector<int> splits = FeatureSplitCounts(forest);
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  std::vector<std::string> dead;
+  for (int i = 0; i < kFeatureDim && i < static_cast<int>(splits.size());
+       ++i) {
+    if (splits[static_cast<size_t>(i)] == 0) {
+      dead.push_back(registry.def(i).name);
+    }
+  }
+  return dead;
+}
+
+}  // namespace t3

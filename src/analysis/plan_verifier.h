@@ -1,0 +1,58 @@
+#ifndef T3_ANALYSIS_PLAN_VERIFIER_H_
+#define T3_ANALYSIS_PLAN_VERIFIER_H_
+
+#include <vector>
+
+#include "analysis/report.h"
+#include "plan/plan.h"
+#include "plan/plan_record.h"
+
+namespace t3 {
+
+/// Static verifier for physical plans — the data-path counterpart of
+/// ForestVerifier. ValidatePlan stops at the first problem (it gates
+/// execution); this pass keeps going and reports every invariant violation
+/// of a loaded plan, independent of how it was built, so t3_lint can show a
+/// corrupted fixture's full damage at once.
+///
+/// Diagnostics anchor `node` to the plan node index (`tree` stays -1; plans
+/// have no tree axis). Check ids:
+///   plan-empty      — the plan has no nodes.
+///   plan-op         — unknown operator code.
+///   plan-arity      — wrong child count for the operator.
+///   plan-topology   — child reference at or above the node (a cycle under
+///                     children-before-parents order) or out of range.
+///   plan-consumer   — a non-root node consumed != exactly once.
+///   plan-root       — the root is not kOutput, or kOutput appears below it.
+///   plan-annotation — non-finite or negative cardinality/width, or
+///                     non-finite extra.
+///   plan-payload    — payload shape invalid for the op (empty predicate
+///                     list, unpaired join keys, negative limit, ...).
+///   plan-extra      — node.extra diverges from PlanNodeExtra(node).
+///   plan-stage      — stage tags diverge from a recomputed pipeline
+///                     decomposition (e.g. a zeroed breaker tag).
+///   plan-breaker    — a pipeline's source/sink/interior operator violates
+///                     breaker placement (T3 §3 pipeline rules), or its
+///                     driving cardinality is insane.
+///   plan-schema     — catalog type-checking failed (only with a catalog).
+///   plan-width      — width annotation diverges from the schema width
+///                     (warning; callers may overwrite annotations).
+class PlanVerifier {
+ public:
+  /// Verifies a payload-carrying plan. With a catalog, additionally resolves
+  /// every operator edge's schema (the executor's type checks) and
+  /// cross-checks width annotations.
+  AnalysisReport Verify(const PhysicalPlan& plan,
+                        const Catalog* catalog = nullptr) const;
+
+  /// Verifies serialized plan rows (corpus "N" lines / "t3plan v1" files):
+  /// record-level structure first, then — when structurally sound — the full
+  /// plan checks over the rehydrated skeleton. Skeletons carry no payloads,
+  /// so catalog checks do not apply.
+  AnalysisReport VerifyRecords(
+      const std::vector<PlanNodeRecord>& records) const;
+};
+
+}  // namespace t3
+
+#endif  // T3_ANALYSIS_PLAN_VERIFIER_H_

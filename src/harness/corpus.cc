@@ -70,11 +70,12 @@ struct Cursor {
   }
 };
 
-/// "corpus line 42: <what>" — every parse failure names the line it was
-/// detected on.
-Status ParseError(const Cursor& cursor, const char* what) {
-  return InvalidArgumentError(
-      StrFormat("corpus line %d: %s", cursor.line, what));
+/// "<path> line 42: <what>" — every parse failure names the source file
+/// (when known) and the line it was detected on; the same prefix
+/// CorpusAuditor uses for post-parse findings.
+Status ParseError(const std::string& path, const Cursor& cursor,
+                  const char* what) {
+  return InvalidArgumentError(CorpusMessagePrefix(path, cursor.line) + what);
 }
 
 void AppendDouble(std::string* out, double value) {
@@ -83,13 +84,14 @@ void AppendDouble(std::string* out, double value) {
   out->append(buffer);
 }
 
-Status ParsePipelineFeatures(Cursor* cursor, PipelineFeatures* features) {
+Status ParsePipelineFeatures(const std::string& path, Cursor* cursor,
+                             PipelineFeatures* features) {
   int64_t pipeline = 0, dim = 0, nnz = 0;
   double card = 0;
   if (!cursor->Int(&pipeline) || !cursor->Double(&card) ||
       !cursor->Int(&dim) || !cursor->Int(&nnz) || dim <= 0 || nnz < 0 ||
       nnz > dim) {
-    return ParseError(*cursor, "malformed feature line header");
+    return ParseError(path, *cursor, "malformed feature line header");
   }
   features->pipeline = static_cast<int>(pipeline);
   features->input_cardinality = card;
@@ -99,7 +101,7 @@ Status ParsePipelineFeatures(Cursor* cursor, PipelineFeatures* features) {
     double value = 0;
     if (!cursor->Int(&index) || !cursor->Literal(':') ||
         !cursor->Double(&value) || index < 0 || index >= dim) {
-      return ParseError(*cursor, "malformed sparse feature pair");
+      return ParseError(path, *cursor, "malformed sparse feature pair");
     }
     features->values[static_cast<size_t>(index)] = value;
   }
@@ -129,15 +131,16 @@ size_t Corpus::NumPipelines() const {
   return n;
 }
 
-Result<Corpus> ParseCorpus(std::string_view text) {
+Result<Corpus> ParseCorpus(std::string_view text, const std::string& path) {
   Cursor cursor(text);
   if (cursor.Token() != "t3corpus" || cursor.Token() != "v1") {
-    return InvalidArgumentError("not a t3corpus v1 file");
+    return InvalidArgumentError(CorpusMessagePrefix(path, 0) +
+                                "not a t3corpus v1 file");
   }
   int64_t num_records = 0;
   if (cursor.Token() != "records" || !cursor.Int(&num_records) ||
       num_records < 0) {
-    return ParseError(cursor, "bad record count");
+    return ParseError(path, cursor, "bad record count");
   }
 
   Corpus corpus;
@@ -145,10 +148,12 @@ Result<Corpus> ParseCorpus(std::string_view text) {
   for (int64_t rec = 0; rec < num_records; ++rec) {
     if (cursor.Token() != "R") {
       return InvalidArgumentError(
-          StrFormat("corpus line %d: record %lld: expected R line",
-                    cursor.line, static_cast<long long>(rec)));
+          CorpusMessagePrefix(path, cursor.line) +
+          StrFormat("record %lld: expected R line",
+                    static_cast<long long>(rec)));
     }
     QueryRecord record;
+    record.source_line = cursor.line;
     record.instance = std::string(cursor.Token());
     int64_t is_test = 0, scale = 0, group = 0, fixed = 0;
     int64_t num_pipelines = 0, runs = 0, num_nodes = 0;
@@ -158,8 +163,9 @@ Result<Corpus> ParseCorpus(std::string_view text) {
         !cursor.Int(&num_nodes) || !cursor.Double(&record.median_seconds) ||
         num_pipelines < 0 || runs < 0 || num_nodes < 0) {
       return InvalidArgumentError(
-          StrFormat("corpus line %d: record %lld: malformed R line",
-                    cursor.line, static_cast<long long>(rec)));
+          CorpusMessagePrefix(path, cursor.line) +
+          StrFormat("record %lld: malformed R line",
+                    static_cast<long long>(rec)));
     }
     record.is_test = is_test != 0;
     record.scale_index = static_cast<int>(scale);
@@ -174,7 +180,7 @@ Result<Corpus> ParseCorpus(std::string_view text) {
           !cursor.Int(&right) || !cursor.Double(&node.cardinality) ||
           !cursor.Double(&node.extra) || !cursor.Double(&node.width) ||
           !cursor.Int(&stage)) {
-        return ParseError(cursor, "malformed N line");
+        return ParseError(path, cursor, "malformed N line");
       }
       node.op = static_cast<int>(op);
       node.left = static_cast<int>(left);
@@ -183,12 +189,12 @@ Result<Corpus> ParseCorpus(std::string_view text) {
     }
 
     if (cursor.Token() != "T") {
-      return ParseError(cursor, "expected T line");
+      return ParseError(path, cursor, "expected T line");
     }
     record.total_run_seconds.resize(static_cast<size_t>(runs));
     for (double& v : record.total_run_seconds) {
       if (!cursor.Double(&v)) {
-        return ParseError(cursor, "malformed T line");
+        return ParseError(path, cursor, "malformed T line");
       }
     }
 
@@ -201,30 +207,30 @@ Result<Corpus> ParseCorpus(std::string_view text) {
       int64_t pipeline = 0;
       if (cursor.Token() != "P" || !cursor.Int(&pipeline) ||
           !cursor.Double(&timing.median_seconds)) {
-        return ParseError(cursor, "malformed P line");
+        return ParseError(path, cursor, "malformed P line");
       }
       timing.pipeline = static_cast<int>(pipeline);
       timing.run_seconds.resize(static_cast<size_t>(runs));
       for (double& v : timing.run_seconds) {
         if (!cursor.Double(&v)) {
-          return ParseError(cursor, "malformed P run value");
+          return ParseError(path, cursor, "malformed P run value");
         }
       }
       if (cursor.Token() != "FT") {
-        return ParseError(cursor, "expected FT line");
+        return ParseError(path, cursor, "expected FT line");
       }
-      Status status = ParsePipelineFeatures(&cursor, &record.feat_true[p]);
+      Status status = ParsePipelineFeatures(path, &cursor, &record.feat_true[p]);
       if (!status.ok()) return status;
       if (cursor.Token() != "FE") {
-        return ParseError(cursor, "expected FE line");
+        return ParseError(path, cursor, "expected FE line");
       }
-      status = ParsePipelineFeatures(&cursor, &record.feat_est[p]);
+      status = ParsePipelineFeatures(path, &cursor, &record.feat_est[p]);
       if (!status.ok()) return status;
     }
     corpus.records.push_back(std::move(record));
   }
   if (!cursor.AtEnd()) {
-    return ParseError(cursor, "trailing data after last record");
+    return ParseError(path, cursor, "trailing data after last record");
   }
   return corpus;
 }
@@ -273,10 +279,14 @@ std::string CorpusToText(const Corpus& corpus) {
   return out;
 }
 
+Result<Corpus> ParseCorpus(std::string_view text) {
+  return ParseCorpus(text, /*path=*/"");
+}
+
 Result<Corpus> LoadCorpusFromFile(const std::string& path) {
   Result<std::string> content = ReadFileToString(path);
   if (!content.ok()) return content.status();
-  return ParseCorpus(*content);
+  return ParseCorpus(*content, path);
 }
 
 Status SaveCorpusToFile(const Corpus& corpus, const std::string& path) {

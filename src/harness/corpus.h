@@ -44,6 +44,9 @@ struct QueryRecord {
   bool fixed_suite = false;  ///< Member of a fixed benchmark suite.
   int runs = 0;              ///< Benchmark repetitions recorded.
   double median_seconds = 0.0;  ///< Median total query time.
+  /// 1-based line of the record's "R" row in the source text (parse-time
+  /// bookkeeping for diagnostics; 0 for built records, never serialized).
+  int source_line = 0;
 
   std::vector<PlanNodeRecord> plan_nodes;
   std::vector<double> total_run_seconds;      ///< "T" line, `runs` values.
@@ -71,7 +74,22 @@ struct Corpus {
   size_t NumPipelines() const;
 };
 
+/// "data/corpus.txt line 42: " — the shared diagnostic prefix of the corpus
+/// loader and CorpusAuditor, so every corpus finding names the file and the
+/// line. An empty path (parsing from memory) yields "corpus line 42: ";
+/// line <= 0 (a built, never-parsed record) drops the line part. Inline so
+/// analysis passes share the format without linking the harness.
+inline std::string CorpusMessagePrefix(const std::string& path, int line) {
+  std::string prefix = path.empty() ? "corpus" : path;
+  if (line > 0) prefix += " line " + std::to_string(line);
+  prefix += ": ";
+  return prefix;
+}
+
 Result<Corpus> LoadCorpusFromFile(const std::string& path);
+/// Parses "t3corpus v1" text; `path` (when non-empty) prefixes every parse
+/// diagnostic via CorpusMessagePrefix.
+Result<Corpus> ParseCorpus(std::string_view text, const std::string& path);
 Result<Corpus> ParseCorpus(std::string_view text);
 
 std::string CorpusToText(const Corpus& corpus);

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "analysis/corpus_auditor.h"
+#include "common/check.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "datagen/generator.h"
@@ -172,6 +174,20 @@ Result<Corpus> BuildLiveCorpus(const LiveCorpusOptions& options) {
       corpus.records.push_back(*std::move(record));
     }
   }
+#ifndef NDEBUG
+  // Debug-build self-audit: a freshly benchmarked corpus must pass the same
+  // static checks t3_lint applies to saved corpora. Catching a featurizer or
+  // decomposition regression here pins it to the producing run instead of a
+  // later lint of the file.
+  {
+    const AnalysisReport audit = CorpusAuditor().Audit(corpus, "(live)");
+    if (audit.HasErrors()) {
+      std::fprintf(stderr, "BuildLiveCorpus: self-audit failed:\n%s",
+                   audit.ToString().c_str());
+      T3_CHECK(!audit.HasErrors());
+    }
+  }
+#endif
   return corpus;
 }
 

@@ -6,10 +6,8 @@
 #include "common/string_util.h"
 
 namespace t3 {
-namespace {
 
-/// Op-specific `extra` annotation (documented at PlanToRecords).
-double ExtraFor(const PlanNode& node) {
+double PlanNodeExtra(const PlanNode& node) {
   switch (node.op) {
     case PlanOp::kScan:
     case PlanOp::kProject:
@@ -29,6 +27,8 @@ double ExtraFor(const PlanNode& node) {
   }
   return 0.0;
 }
+
+namespace {
 
 double SchemaWidthBytes(const std::vector<ColumnType>& schema) {
   double width = 0.0;
@@ -337,7 +337,7 @@ std::vector<PlanNodeRecord> PlanToRecords(const PhysicalPlan& plan) {
     record.left = node.left;
     record.right = node.right;
     record.cardinality = node.cardinality;
-    record.extra = ExtraFor(node);
+    record.extra = PlanNodeExtra(node);
     record.width = node.width;
     record.stage = node.stage < 0 ? 0 : node.stage;
     records.push_back(record);
@@ -465,7 +465,7 @@ Status PlanBuilder::CheckInput(int id) const {
 Result<int> PlanBuilder::Append(PlanNode node,
                                 std::vector<ColumnType> schema) {
   node.width = SchemaWidthBytes(schema);
-  node.extra = ExtraFor(node);
+  node.extra = PlanNodeExtra(node);
   plan_.nodes.push_back(std::move(node));
   schemas_.push_back(std::move(schema));
   return static_cast<int>(plan_.nodes.size()) - 1;

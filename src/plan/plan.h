@@ -107,10 +107,15 @@ struct PhysicalPlan {
 /// additionally type-checks payloads against the catalog.
 Status ValidatePlan(const PhysicalPlan& plan);
 
+/// The `extra` annotation a node's payload implies: kScan/kProject = output
+/// column count, kFilter = predicate count, kHashJoin = key pair count,
+/// kHashAggregate = group column count, kSort = sort key count, kLimit = the
+/// limit, kOutput = 0. PlanBuilder and PlanToRecords keep node.extra equal
+/// to this; PlanVerifier flags divergence.
+double PlanNodeExtra(const PlanNode& node);
+
 /// The plan's shape + annotations as corpus "N" rows (one per node, same
-/// order). `extra` per op: kScan/kProject = output column count, kFilter =
-/// predicate count, kHashJoin = key pair count, kHashAggregate = group
-/// column count, kSort = sort key count, kLimit = the limit, kOutput = 0.
+/// order). `extra` per op follows PlanNodeExtra.
 std::vector<PlanNodeRecord> PlanToRecords(const PhysicalPlan& plan);
 
 /// Rebuilds a *skeleton* plan (ops, structure, annotations — no payloads)

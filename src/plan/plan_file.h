@@ -1,0 +1,32 @@
+#ifndef T3_PLAN_PLAN_FILE_H_
+#define T3_PLAN_PLAN_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan_record.h"
+
+namespace t3 {
+
+/// Standalone plan files ("t3plan v1"): a plan skeleton serialized outside a
+/// corpus, using the exact corpus "N" row schema. Golden plan fixtures under
+/// data/ use this format and t3_lint runs PlanVerifier over them.
+///
+///   t3plan v1
+///   nodes <n>
+///   N <op> <left> <right> <cardinality> <extra> <width> <stage>   (x n)
+///
+/// Parsing is purely syntactic — structural validation is PlanVerifier's
+/// job, so a file with a cycle or a bad op code still parses and every
+/// invariant violation gets reported, not just the first.
+Result<std::vector<PlanNodeRecord>> ParsePlanText(std::string_view text);
+
+/// Serializes records back to "t3plan v1" text. Round-trips with
+/// ParsePlanText bit-exactly (the same %.17g convention as the corpus).
+std::string PlanRecordsToText(const std::vector<PlanNodeRecord>& records);
+
+}  // namespace t3
+
+#endif  // T3_PLAN_PLAN_FILE_H_

@@ -1,0 +1,334 @@
+// Tests for the plan -> features -> corpus data-path verification stack:
+// PlanVerifier, FeatureAuditor, CorpusAuditor, and the "t3plan v1" file
+// format. Fixture-based tests load the tracked golden plans and the mini
+// corpus; mutation tests prove the passes catch seeded corruption.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/corpus_auditor.h"
+#include "analysis/feature_auditor.h"
+#include "analysis/plan_verifier.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "datagen/generator.h"
+#include "datagen/spec.h"
+#include "features/feature_registry.h"
+#include "gbt/forest.h"
+#include "harness/corpus.h"
+#include "plan/plan.h"
+#include "plan/plan_file.h"
+#include "querygen/querygen.h"
+
+namespace t3 {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+bool HasCheck(const AnalysisReport& report, const std::string& check,
+              Severity severity) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.check == check && d.severity == severity) return true;
+  }
+  return false;
+}
+
+bool HasError(const AnalysisReport& report, const std::string& check) {
+  return HasCheck(report, check, Severity::kError);
+}
+
+std::vector<PlanNodeRecord> LoadPlanFixture(const std::string& name) {
+  Result<std::string> content =
+      ReadFileToString(std::string(T3_SOURCE_DIR) + "/" + name);
+  T3_CHECK_OK(content);
+  Result<std::vector<PlanNodeRecord>> records = ParsePlanText(*content);
+  T3_CHECK_OK(records);
+  return *std::move(records);
+}
+
+Corpus LoadMiniCorpus() {
+  Result<Corpus> corpus =
+      LoadCorpusFromFile(std::string(T3_SOURCE_DIR) + "/data/corpus_mini.txt");
+  T3_CHECK_OK(corpus);
+  return *std::move(corpus);
+}
+
+// --- Plan file format. ---
+
+TEST(PlanFileTest, GoldenFixturesRoundTrip) {
+  for (const char* name :
+       {"data/plan_agg_golden.txt", "data/plan_join_golden.txt"}) {
+    const std::vector<PlanNodeRecord> records = LoadPlanFixture(name);
+    const std::string text = PlanRecordsToText(records);
+    Result<std::vector<PlanNodeRecord>> reparsed = ParsePlanText(text);
+    ASSERT_TRUE(reparsed.ok()) << name;
+    EXPECT_EQ(PlanRecordsToText(*reparsed), text) << name;
+  }
+}
+
+TEST(PlanFileTest, RejectsMalformedText) {
+  EXPECT_FALSE(ParsePlanText("").ok());
+  EXPECT_FALSE(ParsePlanText("t3model v1\n").ok());
+  EXPECT_FALSE(ParsePlanText("t3plan v1\nnodes -1\n").ok());
+  EXPECT_FALSE(ParsePlanText("t3plan v1\nnodes 1\nN 0 -1\n").ok());
+  EXPECT_FALSE(
+      ParsePlanText("t3plan v1\nnodes 1\nN 8 -1 -1 1 0 8 0\ntrailing\n")
+          .ok());
+}
+
+// --- PlanVerifier. ---
+
+TEST(PlanVerifierTest, GoldenFixturesVerifyClean) {
+  for (const char* name :
+       {"data/plan_agg_golden.txt", "data/plan_join_golden.txt"}) {
+    const AnalysisReport report =
+        PlanVerifier().VerifyRecords(LoadPlanFixture(name));
+    EXPECT_TRUE(report.empty()) << name << ":\n" << report.ToString();
+  }
+}
+
+TEST(PlanVerifierTest, CatchesCycle) {
+  // tests/data/plan_bad.txt: node 1's child references node 2 — a forward
+  // edge, i.e. a cycle under children-before-parents order.
+  Result<std::string> content = ReadFileToString(
+      std::string(T3_SOURCE_DIR) + "/tests/data/plan_bad.txt");
+  ASSERT_TRUE(content.ok());
+  Result<std::vector<PlanNodeRecord>> records = ParsePlanText(*content);
+  ASSERT_TRUE(records.ok());
+  const AnalysisReport report = PlanVerifier().VerifyRecords(*records);
+  EXPECT_TRUE(HasError(report, "plan-topology")) << report.ToString();
+}
+
+TEST(PlanVerifierTest, CatchesZeroedStageTags) {
+  // Zeroing every stage tag of a multi-pipeline plan is the signature of
+  // dropped breaker annotations; the recomputed decomposition disagrees.
+  std::vector<PlanNodeRecord> records =
+      LoadPlanFixture("data/plan_join_golden.txt");
+  for (PlanNodeRecord& record : records) record.stage = 0;
+  const AnalysisReport report = PlanVerifier().VerifyRecords(records);
+  EXPECT_TRUE(HasError(report, "plan-stage")) << report.ToString();
+}
+
+TEST(PlanVerifierTest, CatchesMissingBreaker) {
+  // Downgrading the hash aggregate to a streaming project removes the
+  // breaker: the plan collapses to one pipeline and every downstream stage
+  // tag diverges from the recomputed decomposition.
+  std::vector<PlanNodeRecord> records =
+      LoadPlanFixture("data/plan_agg_golden.txt");
+  ASSERT_EQ(records[2].op, static_cast<int>(PlanOp::kHashAggregate));
+  records[2].op = static_cast<int>(PlanOp::kProject);
+  const AnalysisReport report = PlanVerifier().VerifyRecords(records);
+  EXPECT_TRUE(HasError(report, "plan-stage")) << report.ToString();
+}
+
+TEST(PlanVerifierTest, CatchesNonFiniteAnnotations) {
+  std::vector<PlanNodeRecord> records =
+      LoadPlanFixture("data/plan_agg_golden.txt");
+  records[0].cardinality = -5.0;
+  records[1].width = kNan;
+  const AnalysisReport report = PlanVerifier().VerifyRecords(records);
+  EXPECT_TRUE(HasError(report, "plan-annotation")) << report.ToString();
+}
+
+TEST(PlanVerifierTest, CatchesTypeMismatchedJoinKey) {
+  // Build a live FK join, then retarget the probe key at a float column:
+  // ResolvePlanSchemas (the executor's type checks) must reject it.
+  Result<const InstanceSpec*> spec = FindInstance("tpch_sf0");
+  T3_CHECK_OK(spec);
+  DatagenOptions options;
+  options.scale_override = 0.05;
+  Result<Catalog> catalog = GenerateInstance(**spec, options);
+  T3_CHECK_OK(catalog);
+
+  const std::vector<JoinEdge> edges = DiscoverJoinEdges(*catalog);
+  ASSERT_FALSE(edges.empty());
+  const JoinEdge* edge = nullptr;
+  int float_column = -1;
+  for (const JoinEdge& candidate : edges) {
+    const Table& fact = catalog->table(candidate.fk_table);
+    for (size_t c = 0; c < fact.num_columns(); ++c) {
+      if (fact.column(c).type() == ColumnType::kFloat64) {
+        edge = &candidate;
+        float_column = static_cast<int>(c);
+        break;
+      }
+    }
+    if (edge != nullptr) break;
+  }
+  ASSERT_NE(edge, nullptr) << "no FK edge with a float column in the fact";
+
+  PlanBuilder builder(&*catalog);
+  Result<int> fact = builder.Scan(catalog->table(edge->fk_table).name());
+  T3_CHECK_OK(fact);
+  Result<int> dim = builder.Scan(catalog->table(edge->pk_table).name());
+  T3_CHECK_OK(dim);
+  Result<int> join = builder.HashJoin(*fact, *dim,
+                                      {static_cast<int>(edge->fk_column)},
+                                      {static_cast<int>(edge->pk_column)});
+  T3_CHECK_OK(join);
+  Result<PhysicalPlan> plan = builder.Output(*join);
+  T3_CHECK_OK(plan);
+  EXPECT_TRUE(PlanVerifier().Verify(*plan, &*catalog).empty());
+
+  plan->nodes[static_cast<size_t>(*join)].left_keys[0] = float_column;
+  const AnalysisReport report = PlanVerifier().Verify(*plan, &*catalog);
+  EXPECT_TRUE(HasError(report, "plan-schema")) << report.ToString();
+}
+
+// --- FeatureAuditor. ---
+
+TEST(FeatureAuditorTest, RegistryIsClean) {
+  const AnalysisReport report = FeatureAuditor().AuditRegistry();
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(FeatureAuditorTest, VectorChecks) {
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  const FeatureAuditor auditor;
+  std::vector<double> values(static_cast<size_t>(kFeatureDim), 0.0);
+  EXPECT_TRUE(auditor.AuditVector(values, "clean").empty());
+
+  std::vector<double> wrong_dim(10, 0.0);
+  EXPECT_TRUE(HasError(auditor.AuditVector(wrong_dim, "dim"), "feature-dim"));
+
+  // Filter pass-through: index 3 = count, 4 = in_percentage.
+  const int count_index = registry.StageFeature(1, FeatureKind::kCount);
+  const int pct_index = registry.StageFeature(1, FeatureKind::kInPercentage);
+  ASSERT_GE(count_index, 0);
+  ASSERT_GE(pct_index, 0);
+
+  values[static_cast<size_t>(pct_index)] = 150.0;
+  EXPECT_TRUE(
+      HasError(auditor.AuditVector(values, "pct"), "feature-range"));
+  values[static_cast<size_t>(pct_index)] = 0.5;
+  EXPECT_TRUE(auditor.AuditVector(values, "pct").empty());
+
+  values[static_cast<size_t>(count_index)] = 1.5;
+  EXPECT_TRUE(
+      HasError(auditor.AuditVector(values, "count"), "feature-count"));
+  values[static_cast<size_t>(count_index)] = 2.0;
+
+  values[0] = kNan;
+  EXPECT_TRUE(
+      HasError(auditor.AuditVector(values, "nan"), "feature-finite"));
+}
+
+TEST(FeatureAuditorTest, PairComparesCountFeaturesOnly) {
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  const FeatureAuditor auditor;
+  std::vector<double> feat_true(static_cast<size_t>(kFeatureDim), 0.0);
+  std::vector<double> feat_est = feat_true;
+
+  // Percentages may differ between cardinality modes.
+  const int pct_index = registry.StageFeature(1, FeatureKind::kInPercentage);
+  feat_est[static_cast<size_t>(pct_index)] = 0.25;
+  EXPECT_TRUE(auditor.AuditVectorPair(feat_true, feat_est, "pct").empty());
+
+  // Counts are structural and must be bit-equal.
+  const int count_index = registry.StageFeature(1, FeatureKind::kCount);
+  feat_est[static_cast<size_t>(count_index)] = 1.0;
+  EXPECT_TRUE(HasError(auditor.AuditVectorPair(feat_true, feat_est, "count"),
+                       "feature-mode"));
+
+  std::vector<double> truncated(10, 0.0);
+  EXPECT_TRUE(HasError(auditor.AuditVectorPair(feat_true, truncated, "dim"),
+                       "feature-dim"));
+}
+
+TEST(FeatureAuditorTest, DeadFeatureReport) {
+  Forest forest;
+  forest.num_features = kFeatureDim;
+  TreeNode split;
+  split.is_leaf = false;
+  split.feature = 0;
+  split.threshold = 10.0;
+  split.left = 1;
+  split.right = 2;
+  TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.value = 1.0;
+  forest.trees.push_back(Tree{{split, leaf, leaf}});
+
+  const std::vector<std::string> dead = FeatureAuditor().DeadFeatures(forest);
+  EXPECT_EQ(dead.size(), static_cast<size_t>(kFeatureDim - 1));
+  const std::string used = FeatureRegistry::Get().def(0).name;
+  for (const std::string& name : dead) EXPECT_NE(name, used);
+
+  // Foreign feature spaces get no report (the names would be wrong).
+  forest.num_features = 7;
+  EXPECT_TRUE(FeatureAuditor().DeadFeatures(forest).empty());
+}
+
+// --- CorpusAuditor. ---
+
+TEST(CorpusAuditorTest, MiniCorpusIsClean) {
+  const Corpus corpus = LoadMiniCorpus();
+  const AnalysisReport report =
+      CorpusAuditor().Audit(corpus, "data/corpus_mini.txt");
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(CorpusAuditorTest, CatchesTamperedMedian) {
+  Corpus corpus = LoadMiniCorpus();
+  corpus.records[0].median_seconds *= 2.0;
+  const AnalysisReport report = CorpusAuditor().Audit(corpus, "");
+  EXPECT_TRUE(HasError(report, "corpus-median")) << report.ToString();
+}
+
+TEST(CorpusAuditorTest, CatchesNegativeLabel) {
+  Corpus corpus = LoadMiniCorpus();
+  corpus.records[1].median_seconds = -0.5;
+  EXPECT_TRUE(
+      HasError(CorpusAuditor().Audit(corpus, ""), "corpus-label"));
+}
+
+TEST(CorpusAuditorTest, CatchesTruncatedFeatureVector) {
+  Corpus corpus = LoadMiniCorpus();
+  corpus.records[0].feat_est[0].values.resize(40);
+  EXPECT_TRUE(HasError(CorpusAuditor().Audit(corpus, ""), "feature-dim"));
+}
+
+TEST(CorpusAuditorTest, CatchesTamperedStageCount) {
+  Corpus corpus = LoadMiniCorpus();
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  const int count_index = registry.StageFeature(0, FeatureKind::kCount);
+  corpus.records[0].feat_true[0].values[static_cast<size_t>(count_index)] +=
+      1.0;
+  const AnalysisReport report = CorpusAuditor().Audit(corpus, "");
+  // The extra scan shows up both against the recomputed decomposition and
+  // against the untouched estimated-mode vector.
+  EXPECT_TRUE(HasError(report, "corpus-count")) << report.ToString();
+  EXPECT_TRUE(HasError(report, "feature-mode")) << report.ToString();
+}
+
+TEST(CorpusAuditorTest, FlagsDuplicateRecords) {
+  Corpus corpus = LoadMiniCorpus();
+  QueryRecord copy = corpus.records[3];
+  // Fresh timings: a duplicate is about (instance, plan, features), not
+  // about identical measurements.
+  for (double& v : copy.total_run_seconds) v *= 1.5;
+  copy.median_seconds = Median(copy.total_run_seconds);
+  corpus.records.push_back(copy);
+  const AnalysisReport report = CorpusAuditor().Audit(corpus, "");
+  EXPECT_TRUE(HasCheck(report, "corpus-duplicate", Severity::kWarning))
+      << report.ToString();
+  EXPECT_FALSE(report.HasErrors()) << report.ToString();
+}
+
+TEST(CorpusAuditorTest, DiagnosticsCarryPathAndLine) {
+  Corpus corpus = LoadMiniCorpus();
+  corpus.records[0].median_seconds = -1.0;
+  const AnalysisReport report =
+      CorpusAuditor().Audit(corpus, "data/corpus_mini.txt");
+  ASSERT_FALSE(report.empty());
+  const std::string& message = report.diagnostics()[0].message;
+  EXPECT_NE(message.find("data/corpus_mini.txt line "), std::string::npos)
+      << message;
+}
+
+}  // namespace
+}  // namespace t3

@@ -1,5 +1,6 @@
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "datagen/generator.h"
 #include "datagen/spec.h"
+#include "plan/pipeline.h"
 #include "plan/plan.h"
 #include "querygen/querygen.h"
 #include "querygen/suites.h"
@@ -186,6 +188,60 @@ TEST(QueryGenTest, GenerateAllCoversEveryExpressibleGroup) {
     groups.insert(query.structure_group);
   }
   EXPECT_EQ(groups.size(), 16u);
+}
+
+// Golden stage-tag assignments per structure group (seed 42, index 0, the
+// TPC-H-like catalog): the pipeline id DecomposePipelines assigns to every
+// node, rendered "op:pipeline". This pins the decomposition the same way the
+// 48-index golden test pins the feature registry — a breaker-rule change
+// that silently re-tags pipelines (and thereby shuffles every per-pipeline
+// feature vector) must show up as a diff here, not as corrupted corpora.
+TEST(QueryGenTest, GoldenStageTagsPerGroup) {
+  const std::vector<std::pair<QueryGroup, std::string>> golden = {
+      {QueryGroup::kSe, "scan:0 filter:0 output:0"},
+      {QueryGroup::kSeP, "scan:0 filter:0 project:0 output:0"},
+      {QueryGroup::kA, "scan:0 hash_aggregate:0 output:1"},
+      {QueryGroup::kSeA, "scan:0 filter:0 hash_aggregate:0 output:1"},
+      {QueryGroup::kSi, "scan:0 sort:0 output:1"},
+      {QueryGroup::kSiL, "scan:0 sort:0 limit:1 output:1"},
+      {QueryGroup::kSiA, "scan:0 hash_aggregate:0 sort:1 output:2"},
+      {QueryGroup::kJ, "scan:1 scan:0 hash_join:1 output:1"},
+      {QueryGroup::kSeJ, "scan:1 filter:1 scan:0 hash_join:1 output:1"},
+      {QueryGroup::kJA,
+       "scan:1 scan:0 hash_join:1 hash_aggregate:1 output:2"},
+      {QueryGroup::kSeJA,
+       "scan:1 filter:1 scan:0 hash_join:1 hash_aggregate:1 output:2"},
+      {QueryGroup::kSeJSi,
+       "scan:1 filter:1 scan:0 hash_join:1 sort:1 output:2"},
+      {QueryGroup::kSeJSiA,
+       "scan:1 filter:1 scan:0 hash_join:1 hash_aggregate:1 sort:2 "
+       "output:3"},
+      {QueryGroup::kCSe,
+       "scan:2 filter:2 scan:1 hash_join:2 scan:0 hash_join:2 output:2"},
+      {QueryGroup::kCSeJA,
+       "scan:2 filter:2 scan:1 hash_join:2 scan:0 hash_join:2 "
+       "hash_aggregate:2 output:3"},
+      {QueryGroup::kCSeJSiL,
+       "scan:3 filter:3 scan:2 hash_join:3 scan:1 hash_join:3 scan:0 "
+       "hash_join:3 sort:3 limit:4 output:4"},
+  };
+  ASSERT_EQ(golden.size(), AllQueryGroups().size());
+  QueryGenerator generator(&TpchCatalog(), 42);
+  for (const auto& [group, expected] : golden) {
+    Result<GeneratedQuery> query = generator.Generate(group, 0);
+    ASSERT_TRUE(query.ok()) << QueryGroupName(group);
+    Result<PipelineDecomposition> decomposition =
+        DecomposePipelines(query->plan);
+    ASSERT_TRUE(decomposition.ok()) << QueryGroupName(group);
+    std::string actual;
+    for (size_t i = 0; i < query->plan.nodes.size(); ++i) {
+      if (!actual.empty()) actual += ' ';
+      actual += PlanOpName(query->plan.nodes[i].op);
+      actual += ':';
+      actual += std::to_string(decomposition->node_pipeline[i]);
+    }
+    EXPECT_EQ(actual, expected) << QueryGroupName(group);
+  }
 }
 
 TEST(SuitesTest, FixedSuitesProduceValidNamedPlans) {

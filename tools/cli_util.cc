@@ -1,0 +1,40 @@
+#include "cli_util.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace t3 {
+
+bool CliError(const char* tool, const char* flag, const char* detail) {
+  std::fprintf(stderr, "%s: %s %s\n", tool, flag, detail);
+  return false;
+}
+
+bool CliValue(const char* tool, int argc, char** argv, int* i,
+              const char* flag, std::string* out) {
+  if (*i + 1 >= argc) return CliError(tool, flag, "requires a value");
+  *out = argv[++*i];
+  return true;
+}
+
+bool CliUint64(const char* tool, int argc, char** argv, int* i,
+               const char* flag, uint64_t min, uint64_t max,
+               const char* detail, uint64_t* out) {
+  if (*i + 1 >= argc) return CliError(tool, flag, "requires a value");
+  if (!ParseUint64(argv[++*i], out) || *out < min || *out > max) {
+    return CliError(tool, flag, detail);
+  }
+  return true;
+}
+
+bool CliPositiveDouble(const char* tool, int argc, char** argv, int* i,
+                       const char* flag, double* out) {
+  if (*i + 1 >= argc) return CliError(tool, flag, "requires a value");
+  if (!ParseDouble(argv[++*i], out) || *out <= 0.0) {
+    return CliError(tool, flag, "must be a finite number > 0");
+  }
+  return true;
+}
+
+}  // namespace t3

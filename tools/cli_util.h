@@ -1,0 +1,34 @@
+#ifndef T3_TOOLS_CLI_UTIL_H_
+#define T3_TOOLS_CLI_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace t3 {
+
+/// Strict flag parsing shared by the CLI tools (t3_explain, t3_datagen,
+/// t3_corpusgen, t3_lint). Every helper follows the tools' common contract:
+/// on bad input it prints "<tool>: <flag> <detail>" to stderr and returns
+/// false, and the caller's ParseArgs routes false through Usage() to exit
+/// status 2. Value-taking helpers consume argv[*i + 1] and advance *i.
+
+/// Prints "<tool>: <flag> <detail>" and returns false.
+bool CliError(const char* tool, const char* flag, const char* detail);
+
+/// Consumes the flag's string value (content checks stay with the caller).
+bool CliValue(const char* tool, int argc, char** argv, int* i,
+              const char* flag, std::string* out);
+
+/// Consumes an unsigned integer in [min, max]; `detail` is the error text
+/// (e.g. "must be an integer in [1, 1000]").
+bool CliUint64(const char* tool, int argc, char** argv, int* i,
+               const char* flag, uint64_t min, uint64_t max,
+               const char* detail, uint64_t* out);
+
+/// Consumes a finite double > 0 (the shared --scale contract).
+bool CliPositiveDouble(const char* tool, int argc, char** argv, int* i,
+                       const char* flag, double* out);
+
+}  // namespace t3
+
+#endif  // T3_TOOLS_CLI_UTIL_H_

@@ -20,11 +20,13 @@
 //
 // Exit status: 0 success, 1 generation/round-trip failure, 2 usage error.
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "gbt/forest.h"
@@ -56,12 +58,7 @@ struct Args {
   std::string out;  // empty = stdout.
 };
 
-/// Prints a diagnostic and fails; ParseArgs errors all route through here so
-/// bad input exits with usage (status 2) and a reason.
-bool ArgError(const char* flag, const char* detail) {
-  std::fprintf(stderr, "t3_corpusgen: %s %s\n", flag, detail);
-  return false;
-}
+constexpr const char* kTool = "t3_corpusgen";
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
@@ -69,66 +66,73 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     if (arg == "--no-fixed") {
       args->fixed = false;
     } else if (arg == "--instances") {
-      if (i + 1 >= argc) return ArgError("--instances", "requires a value");
-      args->instances = Split(argv[++i], ',');
+      std::string value;
+      if (!CliValue(kTool, argc, argv, &i, "--instances", &value)) {
+        return false;
+      }
+      args->instances = Split(value, ',');
       if (args->instances.empty()) {
-        return ArgError("--instances", "must name at least one instance");
+        return CliError(kTool, "--instances",
+                        "must name at least one instance");
       }
     } else if (arg == "--groups") {
-      if (i + 1 >= argc) return ArgError("--groups", "requires a value");
-      for (const std::string& token : Split(argv[++i], ',')) {
+      std::string value;
+      if (!CliValue(kTool, argc, argv, &i, "--groups", &value)) return false;
+      for (const std::string& token : Split(value, ',')) {
         uint64_t code = 0;
         if (!ParseUint64(token, &code) ||
             code >= static_cast<uint64_t>(kNumQueryGroups)) {
-          return ArgError("--groups", "entries must be codes 0..15");
+          return CliError(kTool, "--groups", "entries must be codes 0..15");
         }
         Result<QueryGroup> group = QueryGroupFromCode(static_cast<int>(code));
-        if (!group.ok()) return ArgError("--groups", "entries must be codes 0..15");
+        if (!group.ok()) {
+          return CliError(kTool, "--groups", "entries must be codes 0..15");
+        }
         args->groups.push_back(*group);
       }
       if (args->groups.empty()) {
-        return ArgError("--groups", "must name at least one group");
+        return CliError(kTool, "--groups", "must name at least one group");
       }
     } else if (arg == "--queries") {
       uint64_t queries = 0;
-      if (i + 1 >= argc) return ArgError("--queries", "requires a value");
-      if (!ParseUint64(argv[++i], &queries) || queries == 0 ||
-          queries > 10000) {
-        return ArgError("--queries", "must be an integer in [1, 10000]");
+      if (!CliUint64(kTool, argc, argv, &i, "--queries", 1, 10000,
+                     "must be an integer in [1, 10000]", &queries)) {
+        return false;
       }
       args->queries = static_cast<int>(queries);
     } else if (arg == "--runs") {
       uint64_t runs = 0;
-      if (i + 1 >= argc) return ArgError("--runs", "requires a value");
-      if (!ParseUint64(argv[++i], &runs) || runs == 0 || runs > 1000) {
-        return ArgError("--runs", "must be an integer in [1, 1000]");
+      if (!CliUint64(kTool, argc, argv, &i, "--runs", 1, 1000,
+                     "must be an integer in [1, 1000]", &runs)) {
+        return false;
       }
       args->runs = static_cast<int>(runs);
     } else if (arg == "--seed") {
-      if (i + 1 >= argc) return ArgError("--seed", "requires a value");
-      if (!ParseUint64(argv[++i], &args->seed)) {
-        return ArgError("--seed", "must be an unsigned integer");
+      if (!CliUint64(kTool, argc, argv, &i, "--seed", 0, UINT64_MAX,
+                     "must be an unsigned integer", &args->seed)) {
+        return false;
       }
     } else if (arg == "--scale") {
-      if (i + 1 >= argc) return ArgError("--scale", "requires a value");
-      if (!ParseDouble(argv[++i], &args->scale) || args->scale <= 0.0) {
-        return ArgError("--scale", "must be a finite number > 0");
+      if (!CliPositiveDouble(kTool, argc, argv, &i, "--scale",
+                             &args->scale)) {
+        return false;
       }
     } else if (arg == "--threads") {
       uint64_t threads = 0;
-      if (i + 1 >= argc) return ArgError("--threads", "requires a value");
-      if (!ParseUint64(argv[++i], &threads) || threads > 1024) {
-        return ArgError("--threads", "must be an unsigned integer <= 1024");
+      if (!CliUint64(kTool, argc, argv, &i, "--threads", 0, 1024,
+                     "must be an unsigned integer <= 1024", &threads)) {
+        return false;
       }
       args->threads = static_cast<size_t>(threads);
     } else if (arg == "--out") {
-      if (i + 1 >= argc) return ArgError("--out", "requires a value");
-      args->out = argv[++i];
+      if (!CliValue(kTool, argc, argv, &i, "--out", &args->out)) {
+        return false;
+      }
       if (args->out.empty()) {
-        return ArgError("--out", "must be a file path");
+        return CliError(kTool, "--out", "must be a file path");
       }
     } else {
-      return ArgError(arg.c_str(), "is not a recognized argument");
+      return CliError(kTool, arg.c_str(), "is not a recognized argument");
     }
   }
   return true;

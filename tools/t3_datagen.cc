@@ -18,12 +18,14 @@
 //
 // Exit status: 0 success, 2 usage error or unknown instance.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "cli_util.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "datagen/generator.h"
@@ -55,12 +57,7 @@ struct Args {
   bool json = false;
 };
 
-/// Prints a diagnostic and fails; ParseArgs errors all route through here so
-/// bad input exits with usage (status 2) and a reason.
-bool ArgError(const char* flag, const char* detail) {
-  std::fprintf(stderr, "t3_datagen: %s %s\n", flag, detail);
-  return false;
-}
+constexpr const char* kTool = "t3_datagen";
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
@@ -70,26 +67,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     if (arg == "--json") {
       args->json = true;
     } else if (arg == "--seed") {
-      if (i + 1 >= argc) return ArgError("--seed", "requires a value");
-      if (!ParseUint64(argv[++i], &args->seed)) {
-        return ArgError("--seed", "must be an unsigned integer");
+      if (!CliUint64(kTool, argc, argv, &i, "--seed", 0, UINT64_MAX,
+                     "must be an unsigned integer", &args->seed)) {
+        return false;
       }
     } else if (arg == "--scale") {
-      if (i + 1 >= argc) return ArgError("--scale", "requires a value");
-      if (!ParseDouble(argv[++i], &args->scale) || args->scale <= 0.0) {
-        return ArgError("--scale", "must be a finite number > 0");
+      if (!CliPositiveDouble(kTool, argc, argv, &i, "--scale",
+                             &args->scale)) {
+        return false;
       }
     } else if (arg == "--threads") {
       uint64_t threads = 0;
-      if (i + 1 >= argc) return ArgError("--threads", "requires a value");
-      if (!ParseUint64(argv[++i], &threads) || threads > 1024) {
-        return ArgError("--threads", "must be an unsigned integer <= 1024");
+      if (!CliUint64(kTool, argc, argv, &i, "--threads", 0, 1024,
+                     "must be an unsigned integer <= 1024", &threads)) {
+        return false;
       }
       args->threads = static_cast<size_t>(threads);
     } else if (!arg.empty() && arg[0] != '-' && args->instance.empty()) {
       args->instance = arg;
     } else {
-      return ArgError(arg.c_str(), "is not a recognized argument");
+      return CliError(kTool, arg.c_str(), "is not a recognized argument");
     }
   }
   return true;

@@ -12,11 +12,13 @@
 //
 // Exit status: 0 success, 1 execution error, 2 usage error.
 
+#include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "common/string_util.h"
 #include "datagen/generator.h"
 #include "datagen/spec.h"
@@ -42,10 +44,7 @@ struct Args {
   double scale = 0.0;  // 0 = the instance's own scale.
 };
 
-bool ArgError(const char* flag, const char* detail) {
-  std::fprintf(stderr, "t3_explain: %s %s\n", flag, detail);
-  return false;
-}
+constexpr const char* kTool = "t3_explain";
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
@@ -53,24 +52,25 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed") {
-      if (i + 1 >= argc) return ArgError("--seed", "requires a value");
-      if (!ParseUint64(argv[++i], &args->seed)) {
-        return ArgError("--seed", "must be an unsigned integer");
+      if (!CliUint64(kTool, argc, argv, &i, "--seed", 0, UINT64_MAX,
+                     "must be an unsigned integer", &args->seed)) {
+        return false;
       }
     } else if (arg == "--scale") {
-      if (i + 1 >= argc) return ArgError("--scale", "requires a value");
-      if (!ParseDouble(argv[++i], &args->scale) || args->scale <= 0.0) {
-        return ArgError("--scale", "must be a finite number > 0");
+      if (!CliPositiveDouble(kTool, argc, argv, &i, "--scale",
+                             &args->scale)) {
+        return false;
       }
     } else if (arg == "--query") {
-      if (i + 1 >= argc) return ArgError("--query", "requires a value");
-      args->query = argv[++i];
+      if (!CliValue(kTool, argc, argv, &i, "--query", &args->query)) {
+        return false;
+      }
       if (args->query != "agg" && args->query != "join" &&
           args->query != "sort") {
-        return ArgError("--query", "must be one of: agg, join, sort");
+        return CliError(kTool, "--query", "must be one of: agg, join, sort");
       }
     } else {
-      return ArgError(arg.c_str(), "is not a recognized argument");
+      return CliError(kTool, arg.c_str(), "is not a recognized argument");
     }
   }
   return true;

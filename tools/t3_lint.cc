@@ -1,9 +1,11 @@
-// t3_lint — static verifier driver for T3 model files.
+// t3_lint — static verifier driver for T3 artifacts: model files, plan
+// files, and corpora.
 //
-//   t3_lint [--strict] [--json] <model.txt>...
+//   t3_lint [--strict] [--json] <file>...
 //
-// Runs the full analysis stack over each file:
+// The file kind is sniffed from the header token and picks the pass stack:
 //
+//  model ("t3model ..."):
 //   1. parse                  — ParseTextUnvalidated (no early-reject gate,
 //                               so every finding is reported),
 //   2. forest-verifier        — ForestVerifier over the forest IR,
@@ -14,10 +16,31 @@
 //                               computes the forest (bit-equal constants,
 //                               identical NaN routing, equal outputs over
 //                               every threshold-induced input cell).
+//   Passes 3-4 need the x86-64 emitter and run only when the forest IR is
+//   error-free (the emitter's preconditions are exactly the verifier's
+//   Error checks); they are reported as "skipped" otherwise. Models over
+//   the 48-feature registry space additionally get an informational
+//   dead-feature report (registry features the forest never splits on).
 //
-// Passes 3-4 need the x86-64 emitter and run only when the forest IR is
-// error-free (the emitter's preconditions are exactly the verifier's Error
-// checks); they are reported as "skipped" otherwise.
+//  plan ("t3plan v1"):
+//   1. parse       — ParsePlanText (syntax only),
+//   2. plan-verify — PlanVerifier over the node records: topology, arity,
+//                    annotations, stage tags vs a recomputed pipeline
+//                    decomposition, breaker placement.
+//
+//  corpus ("t3corpus v1"):
+//   1. parse          — the harness corpus parser,
+//   2. plan-verify    — PlanVerifier over every record's plan skeleton,
+//   3. feature-audit  — FeatureAuditor over every FT/FE vector (finiteness,
+//                       count/percentage ranges, true-vs-estimated
+//                       structural identity),
+//   4. corpus-audit   — CorpusAuditor cross-checks: medians vs runs, block
+//                       shapes, feature counts vs the recomputed
+//                       decomposition, duplicate records.
+//
+// Every invocation also audits the feature registry itself once (reported
+// as pseudo-file "(feature-registry)"): catalog x registry index coverage,
+// predicate-class exhaustiveness, executor stage mapping.
 //
 // Exit status (what CI gates on — machine-checkable, no stdout grepping):
 //   0  every file clean,
@@ -26,17 +49,24 @@
 // --strict promotes warnings to exit 2.
 //
 // --json replaces the human-readable report with one JSON document on
-// stdout: per-file pass outcomes and diagnostics plus aggregate counts.
+// stdout: per-file kind, pass outcomes and diagnostics plus aggregate
+// counts.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "analysis/corpus_auditor.h"
+#include "analysis/feature_auditor.h"
 #include "analysis/forest_verifier.h"
 #include "analysis/jit_auditor.h"
+#include "analysis/plan_verifier.h"
 #include "analysis/translation_validator.h"
+#include "cli_util.h"
 #include "gbt/forest.h"
+#include "harness/corpus.h"
+#include "plan/plan_file.h"
 #include "treejit/jit.h"
 
 namespace {
@@ -64,13 +94,20 @@ struct PassResult {
 /// Everything the linter learned about one file; rendered as text or JSON.
 struct FileResult {
   std::string path;
+  const char* kind = "model";  // model | plan | corpus | registry
   std::vector<PassResult> passes;
   t3::AnalysisReport report;
   bool unreadable = false;
   std::string unreadable_message;
+  // Model files.
   size_t trees = 0;
   size_t nodes = 0;
   int features = 0;
+  std::vector<std::string> dead_features;  ///< Informational, no severity.
+  // Plan files / corpora.
+  size_t plan_nodes = 0;
+  size_t records = 0;
+  size_t pipelines = 0;
 
   /// 0 clean / 1 warnings / 2 errors, before --strict promotion.
   int ExitCode() const {
@@ -80,58 +117,51 @@ struct FileResult {
   }
 };
 
-FileResult LintFile(const std::string& path) {
-  FileResult result;
-  result.path = path;
-  result.passes = {{"parse"},
-                   {"forest-verifier"},
-                   {"jit-audit"},
-                   {"translation-validation"}};
-  PassResult& parse = result.passes[0];
-  PassResult& verify = result.passes[1];
-  PassResult& audit = result.passes[2];
-  PassResult& translate = result.passes[3];
+void LintModel(const std::string& content, FileResult* result) {
+  result->kind = "model";
+  result->passes = {{"parse"},
+                    {"forest-verifier"},
+                    {"jit-audit"},
+                    {"translation-validation"}};
+  PassResult& parse = result->passes[0];
+  PassResult& verify = result->passes[1];
+  PassResult& audit = result->passes[2];
+  PassResult& translate = result->passes[3];
 
-  t3::Result<std::string> content = t3::ReadFileToString(path);
-  if (!content.ok()) {
-    result.unreadable = true;
-    result.unreadable_message = content.status().ToString();
-    parse.state = PassState::kFailed;
-    return result;
-  }
-  t3::Result<t3::Forest> forest = t3::Forest::ParseTextUnvalidated(*content);
+  t3::Result<t3::Forest> forest = t3::Forest::ParseTextUnvalidated(content);
   if (!forest.ok()) {
     parse.state = PassState::kFailed;
-    result.report.Add(t3::Severity::kError, "parse", -1, -1,
-                      forest.status().message());
-    return result;
+    result->report.Add(t3::Severity::kError, "parse", -1, -1,
+                       forest.status().message());
+    return;
   }
   parse.state = PassState::kOk;
-  result.trees = forest->trees.size();
-  result.nodes = forest->NumNodes();
-  result.features = forest->num_features;
+  result->trees = forest->trees.size();
+  result->nodes = forest->NumNodes();
+  result->features = forest->num_features;
+  result->dead_features = t3::FeatureAuditor().DeadFeatures(*forest);
 
-  result.report = t3::ForestVerifier().Verify(*forest);
+  result->report = t3::ForestVerifier().Verify(*forest);
   verify.state =
-      result.report.HasErrors() ? PassState::kFailed : PassState::kOk;
+      result->report.HasErrors() ? PassState::kFailed : PassState::kOk;
 
   // Only analyze code emitted from a verified forest: the emitter's own
   // preconditions are exactly the verifier's Error checks.
-  if (verify.state != PassState::kOk || !t3::JitSupported()) return result;
+  if (verify.state != PassState::kOk || !t3::JitSupported()) return;
 
   t3::Result<t3::JitArtifact> artifact = t3::EmitForestCode(*forest);
   if (!artifact.ok()) {
     audit.state = PassState::kFailed;
-    result.report.Add(t3::Severity::kError, "jit-emit", -1, -1,
-                      artifact.status().message());
-    return result;
+    result->report.Add(t3::Severity::kError, "jit-emit", -1, -1,
+                       artifact.status().message());
+    return;
   }
   const t3::AnalysisReport audit_report = t3::JitCodeAuditor().Audit(
       artifact->code.data(), artifact->code.size(), artifact->entries,
       artifact->num_features);
   audit.state =
       audit_report.HasErrors() ? PassState::kFailed : PassState::kOk;
-  result.report.Merge(audit_report);
+  result->report.Merge(audit_report);
 
   const t3::AnalysisReport equivalence =
       t3::TranslationValidator().Validate(*forest, artifact->code.data(),
@@ -139,7 +169,108 @@ FileResult LintFile(const std::string& path) {
                                           artifact->entries);
   translate.state =
       equivalence.HasErrors() ? PassState::kFailed : PassState::kOk;
-  result.report.Merge(equivalence);
+  result->report.Merge(equivalence);
+}
+
+void LintPlan(const std::string& content, FileResult* result) {
+  result->kind = "plan";
+  result->passes = {{"parse"}, {"plan-verify"}};
+  PassResult& parse = result->passes[0];
+  PassResult& verify = result->passes[1];
+
+  t3::Result<std::vector<t3::PlanNodeRecord>> records =
+      t3::ParsePlanText(content);
+  if (!records.ok()) {
+    parse.state = PassState::kFailed;
+    result->report.Add(t3::Severity::kError, "parse", -1, -1,
+                       records.status().message());
+    return;
+  }
+  parse.state = PassState::kOk;
+  result->plan_nodes = records->size();
+
+  result->report = t3::PlanVerifier().VerifyRecords(*records);
+  verify.state =
+      result->report.HasErrors() ? PassState::kFailed : PassState::kOk;
+}
+
+/// Which corpus pass a CorpusAuditor finding belongs to, by check-id
+/// namespace: merged PlanVerifier findings keep their plan-* ids, merged
+/// FeatureAuditor findings their feature-*/registry-* ids.
+const char* CorpusPassFor(const std::string& check) {
+  if (check.rfind("plan-", 0) == 0) return "plan-verify";
+  if (check.rfind("feature-", 0) == 0 || check.rfind("registry-", 0) == 0) {
+    return "feature-audit";
+  }
+  return "corpus-audit";
+}
+
+void LintCorpus(const std::string& content, const std::string& path,
+                FileResult* result) {
+  result->kind = "corpus";
+  result->passes = {{"parse"},
+                    {"plan-verify"},
+                    {"feature-audit"},
+                    {"corpus-audit"}};
+  PassResult& parse = result->passes[0];
+
+  t3::Result<t3::Corpus> corpus = t3::ParseCorpus(content, path);
+  if (!corpus.ok()) {
+    parse.state = PassState::kFailed;
+    result->report.Add(t3::Severity::kError, "parse", -1, -1,
+                       corpus.status().message());
+    return;
+  }
+  parse.state = PassState::kOk;
+  result->records = corpus->records.size();
+  result->pipelines = corpus->NumPipelines();
+
+  result->report = t3::CorpusAuditor().Audit(*corpus, path);
+  for (size_t p = 1; p < result->passes.size(); ++p) {
+    result->passes[p].state = PassState::kOk;
+  }
+  for (const t3::Diagnostic& diagnostic : result->report.diagnostics()) {
+    if (diagnostic.severity != t3::Severity::kError) continue;
+    const char* pass = CorpusPassFor(diagnostic.check);
+    for (size_t p = 1; p < result->passes.size(); ++p) {
+      if (std::strcmp(result->passes[p].name, pass) == 0) {
+        result->passes[p].state = PassState::kFailed;
+      }
+    }
+  }
+}
+
+FileResult LintFile(const std::string& path) {
+  FileResult result;
+  result.path = path;
+
+  t3::Result<std::string> content = t3::ReadFileToString(path);
+  if (!content.ok()) {
+    result.unreadable = true;
+    result.unreadable_message = content.status().ToString();
+    result.passes = {{"parse", PassState::kFailed}};
+    return result;
+  }
+  // Sniff the header token; the three formats are self-identifying.
+  if (content->rfind("t3corpus", 0) == 0) {
+    LintCorpus(*content, path, &result);
+  } else if (content->rfind("t3plan", 0) == 0) {
+    LintPlan(*content, &result);
+  } else {
+    LintModel(*content, &result);
+  }
+  return result;
+}
+
+/// The once-per-invocation registry self-audit, reported as a pseudo-file.
+FileResult LintRegistry() {
+  FileResult result;
+  result.path = "(feature-registry)";
+  result.kind = "registry";
+  result.report = t3::FeatureAuditor().AuditRegistry();
+  result.passes = {{"registry-audit", result.report.HasErrors()
+                                          ? PassState::kFailed
+                                          : PassState::kOk}};
   return result;
 }
 
@@ -153,6 +284,10 @@ void PrintHuman(const FileResult& result) {
     std::printf("%s: %s\n", result.path.c_str(),
                 diagnostic.ToString().c_str());
   }
+  for (const std::string& name : result.dead_features) {
+    std::printf("%s: note[dead-feature] %s is never split on\n",
+                result.path.c_str(), name.c_str());
+  }
   std::string passes;
   for (const PassResult& pass : result.passes) {
     if (!passes.empty()) passes += ' ';
@@ -160,10 +295,22 @@ void PrintHuman(const FileResult& result) {
     passes += '=';
     passes += PassStateName(pass.state);
   }
-  std::printf("%s: %zu trees, %zu nodes, %d features [%s]: %zu errors, "
-              "%zu warnings\n",
-              result.path.c_str(), result.trees, result.nodes,
-              result.features, passes.c_str(), result.report.NumErrors(),
+  std::string stats;
+  if (std::strcmp(result.kind, "model") == 0) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), "%zu trees, %zu nodes, %d features",
+                  result.trees, result.nodes, result.features);
+    stats = buffer;
+  } else if (std::strcmp(result.kind, "plan") == 0) {
+    stats = std::to_string(result.plan_nodes) + " plan nodes";
+  } else if (std::strcmp(result.kind, "corpus") == 0) {
+    stats = std::to_string(result.records) + " records, " +
+            std::to_string(result.pipelines) + " pipelines";
+  } else {
+    stats = "feature registry";
+  }
+  std::printf("%s: %s [%s]: %zu errors, %zu warnings\n", result.path.c_str(),
+              stats.c_str(), passes.c_str(), result.report.NumErrors(),
               result.report.NumWarnings());
 }
 
@@ -202,15 +349,28 @@ void PrintJson(const std::vector<FileResult>& results, int exit_code) {
   std::printf("{\n  \"files\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const FileResult& result = results[i];
-    std::printf("    {\n      \"path\": \"%s\",\n",
-                JsonEscape(result.path).c_str());
+    std::printf("    {\n      \"path\": \"%s\",\n      \"kind\": \"%s\",\n",
+                JsonEscape(result.path).c_str(), result.kind);
     if (result.unreadable) {
       std::printf("      \"unreadable\": \"%s\",\n",
                   JsonEscape(result.unreadable_message).c_str());
     }
-    std::printf("      \"trees\": %zu,\n      \"nodes\": %zu,\n"
-                "      \"features\": %d,\n",
-                result.trees, result.nodes, result.features);
+    if (std::strcmp(result.kind, "model") == 0) {
+      std::printf("      \"trees\": %zu,\n      \"nodes\": %zu,\n"
+                  "      \"features\": %d,\n",
+                  result.trees, result.nodes, result.features);
+      std::printf("      \"dead_features\": [");
+      for (size_t d = 0; d < result.dead_features.size(); ++d) {
+        std::printf("%s\"%s\"", d == 0 ? "" : ", ",
+                    JsonEscape(result.dead_features[d]).c_str());
+      }
+      std::printf("],\n");
+    } else if (std::strcmp(result.kind, "plan") == 0) {
+      std::printf("      \"plan_nodes\": %zu,\n", result.plan_nodes);
+    } else if (std::strcmp(result.kind, "corpus") == 0) {
+      std::printf("      \"records\": %zu,\n      \"pipelines\": %zu,\n",
+                  result.records, result.pipelines);
+    }
     std::printf("      \"passes\": {");
     for (size_t p = 0; p < result.passes.size(); ++p) {
       std::printf("%s\"%s\": \"%s\"", p == 0 ? "" : ", ",
@@ -256,23 +416,26 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "t3_lint: unknown flag %s\n", argv[i]);
+      t3::CliError("t3_lint", argv[i], "is not a recognized flag");
       return 2;
     } else {
       paths.push_back(argv[i]);
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: t3_lint [--strict] [--json] <model.txt>...\n");
+    std::fprintf(stderr, "usage: t3_lint [--strict] [--json] <file>...\n");
     return 2;
   }
 
   std::vector<FileResult> results;
-  results.reserve(paths.size());
-  int exit_code = 0;
+  results.reserve(paths.size() + 1);
+  results.push_back(LintRegistry());
   for (const std::string& path : paths) {
     results.push_back(LintFile(path));
-    int code = results.back().ExitCode();
+  }
+  int exit_code = 0;
+  for (const FileResult& result : results) {
+    int code = result.ExitCode();
     if (strict && code == 1) code = 2;
     if (code > exit_code) exit_code = code;
   }
