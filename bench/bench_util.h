@@ -53,6 +53,38 @@ inline double MedianLatencySeconds(const std::function<void()>& fn,
   return Median(samples);
 }
 
+/// Latency distribution and throughput of one batched prediction call.
+struct BatchTiming {
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double preds_per_sec = 0.0;  ///< rows_per_call / p50_seconds.
+};
+
+/// Times `fn` — one batched call predicting `rows_per_call` rows — and
+/// reports p50/p99 call latency plus p50-derived predictions per second,
+/// the batch-matrix metric of the throughput benches.
+inline BatchTiming MeasureBatchThroughput(const std::function<void()>& fn,
+                                          size_t rows_per_call,
+                                          int iterations = 200,
+                                          int warmup = 20) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  BatchTiming timing;
+  timing.p50_seconds = Quantile(samples, 0.5);
+  timing.p99_seconds = Quantile(samples, 0.99);
+  if (timing.p50_seconds > 0) {
+    timing.preds_per_sec =
+        static_cast<double>(rows_per_call) / timing.p50_seconds;
+  }
+  return timing;
+}
+
 /// Throughput in calls/second of `fn` measured over a fixed wall budget.
 inline double Throughput(const std::function<void()>& fn,
                          double budget_seconds = 0.5) {

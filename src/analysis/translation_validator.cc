@@ -33,13 +33,12 @@ std::string WitnessText(const FeatureBox& box) {
   return out.empty() ? "any row" : out;
 }
 
-/// Structural pass: simultaneous descent of IR tree and lifted tree under
-/// the emitter's correspondence (IR left child = branch target, IR right
-/// child = fallthrough). Reports every mismatch; descent stops below a
-/// shape or polarity mismatch where the correspondence is no longer
-/// defined.
-void CheckStructure(const Tree& tree, const LiftedTree& lifted,
-                    int tree_index, AnalysisReport* report) {
+}  // namespace
+
+/// Reports every mismatch; descent stops below a shape or polarity mismatch
+/// where the correspondence is no longer defined.
+void CheckLiftedTreeStructure(const Tree& tree, const LiftedTree& lifted,
+                              int tree_index, AnalysisReport* report) {
   struct Frame {
     int ir;
     int code;
@@ -107,6 +106,8 @@ void CheckStructure(const Tree& tree, const LiftedTree& lifted,
   }
 }
 
+namespace {
+
 /// Refines `box` by a lifted node's predicate and pushes the feasible
 /// successor boxes onto `stack`. A NaN threshold (possible only in corrupt
 /// code) makes ucomisd unconditionally unordered, so every input — NaN or
@@ -140,14 +141,14 @@ void PushLiftedChildren(const LiftedNode& node, const FeatureBox& box,
   }
 }
 
-/// Semantic pass for one tree: for every feasible leaf cell of the IR tree,
-/// every lifted leaf reachable under that cell must return the IR leaf's
-/// exact bits. Reports the first offending cell with a concrete witness
-/// row, then stops (one flipped threshold byte shifts many cells; one
-/// witness per tree is the useful signal).
-void CheckSemantics(const Tree& tree, const LiftedTree& lifted,
-                    int num_features, int tree_index,
-                    AnalysisReport* report) {
+}  // namespace
+
+/// Reports the first offending cell with a concrete witness row, then stops
+/// (one flipped threshold byte shifts many cells; one witness per tree is
+/// the useful signal).
+void CheckLiftedTreeSemantics(const Tree& tree, const LiftedTree& lifted,
+                              int num_features, int tree_index,
+                              AnalysisReport* report) {
   bool mismatch_reported = false;
   ForEachLeafCell(
       tree, FeatureBox::Full(num_features),
@@ -178,8 +179,6 @@ void CheckSemantics(const Tree& tree, const LiftedTree& lifted,
         }
       });
 }
-
-}  // namespace
 
 AnalysisReport TranslationValidator::Validate(
     const Forest& forest, const uint8_t* code, size_t size,
@@ -220,10 +219,10 @@ AnalysisReport TranslationValidator::Validate(
         features_ok = false;
       }
     }
-    CheckStructure(forest.trees[t], lifted[t], tree_index, &report);
+    CheckLiftedTreeStructure(forest.trees[t], lifted[t], tree_index, &report);
     if (features_ok) {
-      CheckSemantics(forest.trees[t], lifted[t], forest.num_features,
-                     tree_index, &report);
+      CheckLiftedTreeSemantics(forest.trees[t], lifted[t],
+                               forest.num_features, tree_index, &report);
     }
   }
   return report;

@@ -1,0 +1,60 @@
+#include "common/cpu_features.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace t3 {
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures features;
+  const char* force = std::getenv("T3_FORCE_SCALAR");
+  features.force_scalar = force != nullptr && std::strcmp(force, "1") == 0;
+#if defined(__x86_64__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx_isa = (ecx & (1u << 28)) != 0;
+    bool ymm_enabled = false;
+    if (osxsave) {
+      // xgetbv(0): the OS must have enabled both SSE (bit 1) and AVX
+      // (bit 2) state before ymm registers are usable — AVX in cpuid alone
+      // is not enough (e.g. a hypervisor masking xsave).
+      uint32_t xcr0_lo = 0;
+      uint32_t xcr0_hi = 0;
+      __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+      ymm_enabled = (xcr0_lo & 0x6) == 0x6;
+    }
+    features.avx = avx_isa && ymm_enabled;
+  }
+  if (features.avx) {
+    unsigned eax7 = 0;
+    unsigned ebx7 = 0;
+    unsigned ecx7 = 0;
+    unsigned edx7 = 0;
+    if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) != 0) {
+      features.avx2 = (ebx7 & (1u << 5)) != 0;
+    }
+  }
+#endif
+  return features;
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = DetectCpuFeatures();
+  return features;
+}
+
+bool BatchKernelsEnabled() {
+  const CpuFeatures& features = GetCpuFeatures();
+  return features.avx && features.avx2 && !features.force_scalar;
+}
+
+}  // namespace t3

@@ -65,4 +65,70 @@ std::vector<double> QErrors(const T3Model& model,
   return q_errors;
 }
 
+std::vector<double> PredictQuerySecondsBatched(
+    const T3Model& model, const ForestEvaluator& evaluator,
+    const std::vector<const QueryRecord*>& records, CardinalityMode mode) {
+  std::vector<double> seconds(records.size(), 0.0);
+  if (records.empty()) return seconds;
+
+  // Flatten the rows every record contributes. Per-query targets read only
+  // the first pipeline's vector (matching PredictQuerySeconds); the other
+  // targets sum over all pipelines.
+  const bool per_query = model.target() == PredictionTarget::kPerQuery;
+  size_t num_features = 0;
+  std::vector<double> flat;
+  std::vector<size_t> row_record;
+  std::vector<double> row_cardinality;
+  for (size_t r = 0; r < records.size(); ++r) {
+    const std::vector<PipelineFeatures>& features_set =
+        mode == CardinalityMode::kTrue ? records[r]->feat_true
+                                       : records[r]->feat_est;
+    const size_t used =
+        per_query ? std::min<size_t>(features_set.size(), 1) : features_set.size();
+    for (size_t p = 0; p < used; ++p) {
+      const PipelineFeatures& features = features_set[p];
+      if (row_record.empty()) num_features = features.values.size();
+      if (features.values.size() != num_features) {
+        // Ragged feature rows cannot share one batch; the per-record path
+        // is bit-identical by the evaluator contract.
+        for (size_t i = 0; i < records.size(); ++i) {
+          seconds[i] = PredictQuerySeconds(model, *records[i], mode);
+        }
+        return seconds;
+      }
+      flat.insert(flat.end(), features.values.begin(), features.values.end());
+      row_record.push_back(r);
+      row_cardinality.push_back(features.input_cardinality);
+    }
+  }
+  if (row_record.empty()) return seconds;
+
+  std::vector<double> raw(row_record.size());
+  evaluator.PredictBatch(flat.data(), row_record.size(), num_features,
+                         raw.data());
+
+  // Same per-row transform and per-record left-to-right accumulation as
+  // PredictQuerySeconds, so the result matches it bit for bit.
+  const bool per_tuple = model.target() == PredictionTarget::kPerTuple;
+  for (size_t i = 0; i < row_record.size(); ++i) {
+    double s = InverseTransformTarget(raw[i]);
+    if (per_tuple) s *= std::max(row_cardinality[i], 1.0);
+    seconds[row_record[i]] += s;
+  }
+  return seconds;
+}
+
+std::vector<double> QErrorsBatched(
+    const T3Model& model, const ForestEvaluator& evaluator,
+    const std::vector<const QueryRecord*>& records, CardinalityMode mode) {
+  const std::vector<double> predicted =
+      PredictQuerySecondsBatched(model, evaluator, records, mode);
+  std::vector<double> q_errors;
+  q_errors.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    q_errors.push_back(QError(predicted[i], records[i]->median_seconds));
+  }
+  return q_errors;
+}
+
 }  // namespace t3

@@ -7,6 +7,7 @@
 
 #include "harness/corpus.h"
 #include "model/t3_model.h"
+#include "treejit/evaluator.h"
 
 namespace t3 {
 
@@ -46,6 +47,26 @@ double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
 std::vector<double> QErrors(const T3Model& model,
                             const std::vector<const QueryRecord*>& records,
                             CardinalityMode mode = CardinalityMode::kTrue);
+
+/// Batched counterpart of PredictQuerySeconds over a whole record set: every
+/// pipeline feature row the records contribute is flattened into one
+/// row-major matrix and pushed through a single `evaluator.PredictBatch`
+/// call, then reduced per record. When `evaluator` evaluates model.forest()
+/// (every ForestEvaluator guarantees bit-identical Predict), the result
+/// matches per-record PredictQuerySeconds bit for bit: same rows, same
+/// inverse transform and cardinality scaling, same left-to-right per-record
+/// summation. Returns one predicted-seconds value per record.
+std::vector<double> PredictQuerySecondsBatched(
+    const T3Model& model, const ForestEvaluator& evaluator,
+    const std::vector<const QueryRecord*>& records,
+    CardinalityMode mode = CardinalityMode::kTrue);
+
+/// QErrors computed through PredictQuerySecondsBatched — the batched
+/// inference path the throughput bench times end to end.
+std::vector<double> QErrorsBatched(
+    const T3Model& model, const ForestEvaluator& evaluator,
+    const std::vector<const QueryRecord*>& records,
+    CardinalityMode mode = CardinalityMode::kTrue);
 
 }  // namespace t3
 

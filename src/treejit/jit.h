@@ -24,6 +24,40 @@ struct JitArtifact {
 /// structurally invalid forest and on non-x86-64 builds.
 Result<JitArtifact> EmitForestCode(const Forest& forest);
 
+/// Machine code of the batched AVX tree kernels, in its own buffer separate
+/// from the scalar artifact. One function per tree,
+///
+///   void f(const double* block /* rdi */, double* acc /* rsi */)
+///
+/// evaluating 8 rows per call over a feature-major 8-lane block
+/// (`block[64*f + 8*lane]` bytes, i.e. feature f of lane `lane`) as two
+/// 4-lane ymm halves, accumulating `acc[lane] += leaf_value(lane)` — the
+/// same per-tree addend, in the same order, as the scalar path. The code is
+/// straight-line (branch-free) masked evaluation; see EmitForestBatchCode
+/// in jit.cc for the exact instruction grammar, which the analysis passes
+/// (JitCodeAuditor::AuditBatch, BatchEquivalenceValidator) re-check.
+///
+/// `pool_begin` is the first byte past the last kernel's ret; the
+/// vbroadcastsd constant pool starts at the next 8-byte boundary and runs
+/// to code.size(). Only [0, pool_begin) is instructions.
+struct BatchJitArtifact {
+  std::vector<uint8_t> code;
+  std::vector<size_t> entries;  ///< One per tree, ascending, [0] == 0.
+  size_t pool_begin = 0;
+  int num_features = 0;
+};
+
+/// Emits (but does not map or run) the AVX batch kernels for `forest`.
+/// Fails on a structurally invalid forest; Unavailable when
+/// BatchJitSupported() is false.
+Result<BatchJitArtifact> EmitForestBatchCode(const Forest& forest);
+
+/// True when this build emits AVX batch kernels (x86-64 with mmap, built
+/// without -DT3_DISABLE_AVX2=ON). Whether emitted kernels are *dispatched*
+/// additionally depends on the runtime probe (BatchKernelsEnabled in
+/// common/cpu_features.h).
+bool BatchJitSupported();
+
 /// Knobs for CompiledForest::Compile.
 struct JitCompileOptions {
   /// Run the JitCodeAuditor over the emitted bytes before mapping them
@@ -46,6 +80,22 @@ struct JitCompileOptions {
   bool validate_translation = false;
 #else
   bool validate_translation = true;
+#endif
+  /// Also compile the AVX batch kernels (a no-op when BatchJitSupported()
+  /// is false). Off pins PredictBatch to the portable per-row path — the
+  /// scalar reference the dispatch tests compare against.
+  bool enable_batch = true;
+  /// Run the batch-kernel analysis stack over the emitted batch code before
+  /// mapping it: JitCodeAuditor::AuditBatch (lane-load bounds, frame
+  /// discipline, straight-line control flow) and BatchEquivalenceValidator
+  /// (lift the kernel back to a tree, prove it equals the forest per cell),
+  /// plus an exhaustive per-cell differential check of the mapped kernels
+  /// against the scalar path. Same debug-on contract as
+  /// validate_translation.
+#ifdef NDEBUG
+  bool validate_batch = false;
+#else
+  bool validate_batch = true;
 #endif
 };
 
@@ -78,12 +128,23 @@ class CompiledForest : public ForestEvaluator {
   double Predict(const double* row) const override;
   void PredictBatch(const double* rows, size_t num_rows, size_t num_features,
                     double* out) const override;
+  void PredictBatchSoA(const double* soa, size_t num_rows,
+                       size_t num_features, double* out) const override;
 
   /// Bytes of emitted machine code (before page rounding).
   size_t code_size() const { return code_size_; }
 
+  /// True when AVX batch kernels were compiled in. They are dispatched only
+  /// when the runtime probe (BatchKernelsEnabled) also passes; otherwise
+  /// PredictBatch falls back to the bit-identical per-row path.
+  bool has_batch_kernels() const { return !batch_fns_.empty(); }
+
+  /// Bytes of emitted batch-kernel code + constant pool (0 when none).
+  size_t batch_code_size() const { return batch_code_size_; }
+
  private:
   using TreeFn = double (*)(const double*);
+  using BatchFn = void (*)(const double*, double*);
 
   CompiledForest() = default;
 
@@ -92,6 +153,11 @@ class CompiledForest : public ForestEvaluator {
   void* code_ = nullptr;       // mmap'd region, PROT_READ | PROT_EXEC.
   size_t mapped_size_ = 0;
   size_t code_size_ = 0;
+  std::vector<BatchFn> batch_fns_;
+  void* batch_code_ = nullptr;  // Second W^X region for the batch kernels.
+  size_t batch_mapped_size_ = 0;
+  size_t batch_code_size_ = 0;
+  int num_features_ = 0;
 };
 
 /// True when this build can JIT-compile forests (x86-64 with mmap).

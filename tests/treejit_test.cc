@@ -1,13 +1,17 @@
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "gbt/forest.h"
+#include "gbt/trainer.h"
 #include "treejit/evaluator.h"
 #include "treejit/jit.h"
 
@@ -333,6 +337,237 @@ TEST(BatchTest, PredictBatchMatchesLoop) {
       EXPECT_EQ(out[i], forest.Predict(&rows[i * num_features])) << "row " << i;
     }
   }
+}
+
+// One row densely seeded with the batch kernels' hard inputs: NaN (masked
+// compares must still route by default_left), +/-inf, denormals, and -0.0
+// (which must compare equal to +0.0 thresholds).
+std::vector<double> MakeAdversarialRow(Rng* rng, int num_features) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+  std::vector<double> row(static_cast<size_t>(num_features));
+  for (double& v : row) {
+    switch (rng->UniformInt(0, 6)) {
+      case 0: v = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: v = rng->Bernoulli(0.5) ? kInf : -kInf; break;
+      case 2: v = kDenorm * static_cast<double>(rng->UniformInt(-4, 4)); break;
+      case 3: v = -0.0; break;
+      default: v = 0.25 * static_cast<double>(rng->UniformInt(-8, 8)); break;
+    }
+  }
+  return row;
+}
+
+// Checks PredictBatch and PredictBatchSoA against per-row Predict on one
+// evaluator, bitwise, across the battery's batch sizes (straddling the
+// 8-row kernel width on both sides plus a large batch with a ragged tail).
+void CheckBatchAgainstPerRow(const ForestEvaluator& evaluator,
+                             const std::vector<double>& rows, size_t max_rows,
+                             int num_features, const char* label) {
+  const size_t dim = static_cast<size_t>(num_features);
+  std::vector<double> out(max_rows);
+  std::vector<double> soa(max_rows * dim);
+  for (const size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                         size_t{1024}}) {
+    if (n > max_rows) continue;
+    evaluator.PredictBatch(rows.data(), n, dim, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], evaluator.Predict(&rows[i * dim]))
+          << label << " PredictBatch, batch " << n << " row " << i;
+    }
+    for (size_t f = 0; f < dim; ++f) {
+      for (size_t i = 0; i < n; ++i) soa[f * n + i] = rows[i * dim + f];
+    }
+    evaluator.PredictBatchSoA(soa.data(), n, dim, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], evaluator.Predict(&rows[i * dim]))
+          << label << " PredictBatchSoA, batch " << n << " row " << i;
+    }
+  }
+}
+
+// The batch tentpole's randomized battery: 100 random forests, batch sizes
+// {1, 7, 8, 9, 1024}, adversarial inputs, every evaluator and both layouts
+// bit-identical to per-row Predict (which the scalar battery above already
+// ties to the interpreted reference).
+TEST(BatchTest, RandomizedBatteryBitIdenticalAcrossEvaluators) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int num_features = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    const int num_trees = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    const int max_depth = 1 + static_cast<int>(rng.UniformInt(0, 5));
+    const Forest forest =
+        MakeRandomForest(&rng, num_features, num_trees, max_depth);
+    ASSERT_TRUE(forest.Validate().ok()) << "trial " << trial;
+
+    // Big batches only every 10th trial to keep the battery fast.
+    const size_t max_rows = trial % 10 == 0 ? 1024 : 9;
+    std::vector<double> rows;
+    rows.reserve(max_rows * static_cast<size_t>(num_features));
+    for (size_t i = 0; i < max_rows; ++i) {
+      const std::vector<double> row = i % 2 == 0
+                                          ? MakeAdversarialRow(&rng, num_features)
+                                          : MakeRandomRow(&rng, num_features);
+      rows.insert(rows.end(), row.begin(), row.end());
+    }
+
+    const InterpretedEvaluator interpreted(forest);
+    const FlatEvaluator flat(forest);
+    CheckBatchAgainstPerRow(interpreted, rows, max_rows, num_features,
+                            "interpreted");
+    CheckBatchAgainstPerRow(flat, rows, max_rows, num_features, "flat");
+    Result<std::unique_ptr<CompiledForest>> compiled =
+        CompiledForest::Compile(forest);
+    if (JitSupported()) {
+      ASSERT_TRUE(compiled.ok())
+          << "trial " << trial << ": " << compiled.status().ToString();
+      CheckBatchAgainstPerRow(**compiled, rows, max_rows, num_features,
+                              "compiled");
+    }
+  }
+}
+
+// Same battery over 20 trained forests: the trainer's monotone thresholds
+// and shrunken leaf values are a different distribution than the random
+// builder's grid, and trained trees are where the batch path runs in
+// production.
+TEST(BatchTest, TrainedForestsBatchBitIdentical) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t num_features = 2 + rng.UniformInt(0, 3);
+    const size_t num_rows = 240;
+    std::vector<double> train_rows(num_rows * num_features);
+    std::vector<double> targets(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      double y = 1.0;
+      for (size_t f = 0; f < num_features; ++f) {
+        const double v = rng.UniformDouble(-4, 4);
+        train_rows[i * num_features + f] = v;
+        y += (f % 2 == 0 ? v : -0.5 * v);
+      }
+      targets[i] = y + rng.UniformDouble(-0.1, 0.1);
+    }
+    TrainParams params;
+    params.num_trees = 12;
+    params.max_leaves = 8;
+    params.min_data_in_leaf = 5;
+    params.seed = 1000 + static_cast<uint64_t>(trial);
+    Result<Forest> trained =
+        TrainForest(train_rows, targets, num_features, params);
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    const Forest& forest = trained.value();
+
+    const size_t max_rows = 64;
+    std::vector<double> rows;
+    for (size_t i = 0; i < max_rows; ++i) {
+      const std::vector<double> row =
+          i % 4 == 0 ? MakeAdversarialRow(&rng, static_cast<int>(num_features))
+                     : MakeRandomRow(&rng, static_cast<int>(num_features));
+      rows.insert(rows.end(), row.begin(), row.end());
+    }
+    CheckBatchAgainstPerRow(FlatEvaluator(forest), rows, max_rows,
+                            static_cast<int>(num_features), "flat");
+    Result<std::unique_ptr<CompiledForest>> compiled =
+        CompiledForest::Compile(forest);
+    if (JitSupported()) {
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      CheckBatchAgainstPerRow(**compiled, rows, max_rows,
+                              static_cast<int>(num_features), "compiled");
+    }
+  }
+}
+
+// Satellite: the dispatched batch path (whatever the host offers — SIMD
+// kernels or the fallback) agrees bitwise with the pinned scalar path on
+// every checked-in model fixture. Under T3_FORCE_SCALAR=1 (CI runs the
+// suite that way too) both sides take the per-row path and the test proves
+// the override leaves results unchanged.
+TEST(BatchTest, FixtureModelsScalarAndDispatchedPathsAgree) {
+  const char* fixtures[] = {
+      "/data/model_ablation_per_pipeline.txt",
+      "/data/model_ablation_per_query.txt",
+      "/data/model_autowlm_per_query.txt",
+      "/data/model_loo_airline.txt",
+  };
+  if (!JitSupported()) GTEST_SKIP() << "JIT unsupported on this host";
+  Rng rng(90210);
+  for (const char* fixture : fixtures) {
+    const std::string path = std::string(T3_SOURCE_DIR) + fixture;
+    Result<Forest> loaded = Forest::LoadFromFile(path);
+    ASSERT_TRUE(loaded.ok()) << path << ": " << loaded.status().ToString();
+    const Forest& forest = loaded.value();
+
+    JitCompileOptions dispatched_options;
+    Result<std::unique_ptr<CompiledForest>> dispatched =
+        CompiledForest::Compile(forest, dispatched_options);
+    ASSERT_TRUE(dispatched.ok()) << dispatched.status().ToString();
+    JitCompileOptions scalar_options;
+    scalar_options.enable_batch = false;  // Pins the per-row path.
+    Result<std::unique_ptr<CompiledForest>> scalar =
+        CompiledForest::Compile(forest, scalar_options);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    EXPECT_FALSE((*scalar)->has_batch_kernels());
+
+    const size_t num_rows = 33;  // Kernel blocks plus a scalar tail.
+    const size_t dim = static_cast<size_t>(forest.num_features);
+    std::vector<double> rows;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const std::vector<double> row =
+          MakeRandomRow(&rng, forest.num_features);
+      rows.insert(rows.end(), row.begin(), row.end());
+    }
+    std::vector<double> out_dispatched(num_rows);
+    std::vector<double> out_scalar(num_rows);
+    (*dispatched)->PredictBatch(rows.data(), num_rows, dim,
+                                out_dispatched.data());
+    (*scalar)->PredictBatch(rows.data(), num_rows, dim, out_scalar.data());
+    for (size_t i = 0; i < num_rows; ++i) {
+      ASSERT_EQ(out_dispatched[i], out_scalar[i]) << fixture << " row " << i;
+      ASSERT_EQ(out_dispatched[i], forest.Predict(&rows[i * dim]))
+          << fixture << " row " << i;
+    }
+  }
+}
+
+TEST(CpuFeaturesTest, DetectHonorsForceScalarEnv) {
+  // DetectCpuFeatures re-reads the environment on every call (the cached
+  // GetCpuFeatures does not, by contract).
+  ASSERT_EQ(setenv("T3_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_TRUE(DetectCpuFeatures().force_scalar);
+  ASSERT_EQ(setenv("T3_FORCE_SCALAR", "0", /*overwrite=*/1), 0);
+  EXPECT_FALSE(DetectCpuFeatures().force_scalar);
+  ASSERT_EQ(unsetenv("T3_FORCE_SCALAR"), 0);
+  EXPECT_FALSE(DetectCpuFeatures().force_scalar);
+  // The cached probe and the dispatch gate are consistent with each other.
+  const CpuFeatures& cached = GetCpuFeatures();
+  EXPECT_EQ(BatchKernelsEnabled(),
+            cached.avx && cached.avx2 && !cached.force_scalar);
+}
+
+TEST(BatchTest, SoADefaultMatchesRowMajor) {
+  // The base-class SoA entry point (gather + Predict) agrees with the
+  // row-major one on an evaluator that overrides neither.
+  Rng rng(8);
+  const int num_features = 5;
+  const Forest forest = MakeRandomForest(&rng, num_features, 3, 4);
+  const InterpretedEvaluator interpreted(forest);
+  const size_t num_rows = 17;
+  std::vector<double> rows;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const std::vector<double> row = MakeRandomRow(&rng, num_features);
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  std::vector<double> soa(num_rows * num_features);
+  for (size_t f = 0; f < static_cast<size_t>(num_features); ++f) {
+    for (size_t i = 0; i < num_rows; ++i) {
+      soa[f * num_rows + i] = rows[i * num_features + f];
+    }
+  }
+  std::vector<double> a(num_rows);
+  std::vector<double> b(num_rows);
+  interpreted.PredictBatch(rows.data(), num_rows, num_features, a.data());
+  interpreted.PredictBatchSoA(soa.data(), num_rows, num_features, b.data());
+  EXPECT_EQ(a, b);
 }
 
 TEST(BatchTest, PredictSumParallelMatchesSerialSum) {

@@ -15,10 +15,17 @@
 //                               back into decision trees and prove it
 //                               computes the forest (bit-equal constants,
 //                               identical NaN routing, equal outputs over
-//                               every threshold-induced input cell).
-//   Passes 3-4 need the x86-64 emitter and run only when the forest IR is
-//   error-free (the emitter's preconditions are exactly the verifier's
-//   Error checks); they are reported as "skipped" otherwise. Models over
+//                               every threshold-induced input cell),
+//   5. batch-equivalence      — JitCodeAuditor::AuditBatch +
+//                               BatchEquivalenceValidator over the AVX
+//                               batch kernels: lane loads / spills / pool
+//                               reads in bounds, straight-line control
+//                               flow, and a per-lane lift-and-prove that
+//                               the masked kernels compute the same forest.
+//   Passes 3-4 need the x86-64 emitter (pass 5 additionally a build with
+//   batch kernels enabled) and run only when the forest IR is error-free
+//   (the emitter's preconditions are exactly the verifier's Error checks);
+//   they are reported as "skipped" otherwise. Models over
 //   the 48-feature registry space additionally get an informational
 //   dead-feature report (registry features the forest never splits on).
 //
@@ -57,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/batch_equivalence_validator.h"
 #include "analysis/corpus_auditor.h"
 #include "analysis/feature_auditor.h"
 #include "analysis/forest_verifier.h"
@@ -122,11 +130,13 @@ void LintModel(const std::string& content, FileResult* result) {
   result->passes = {{"parse"},
                     {"forest-verifier"},
                     {"jit-audit"},
-                    {"translation-validation"}};
+                    {"translation-validation"},
+                    {"batch-equivalence"}};
   PassResult& parse = result->passes[0];
   PassResult& verify = result->passes[1];
   PassResult& audit = result->passes[2];
   PassResult& translate = result->passes[3];
+  PassResult& batch = result->passes[4];
 
   t3::Result<t3::Forest> forest = t3::Forest::ParseTextUnvalidated(content);
   if (!forest.ok()) {
@@ -170,6 +180,28 @@ void LintModel(const std::string& content, FileResult* result) {
   translate.state =
       equivalence.HasErrors() ? PassState::kFailed : PassState::kOk;
   result->report.Merge(equivalence);
+
+  // Stays "skipped" on builds without the batch emitter (non-x86-64 or
+  // -DT3_DISABLE_AVX2=ON) — the same contract as passes 3-4 off x86-64.
+  if (!t3::BatchJitSupported()) return;
+  t3::Result<t3::BatchJitArtifact> batch_artifact =
+      t3::EmitForestBatchCode(*forest);
+  if (!batch_artifact.ok()) {
+    batch.state = PassState::kFailed;
+    result->report.Add(t3::Severity::kError, "jit-emit", -1, -1,
+                       batch_artifact.status().message());
+    return;
+  }
+  t3::AnalysisReport batch_report = t3::JitCodeAuditor().AuditBatch(
+      batch_artifact->code.data(), batch_artifact->code.size(),
+      batch_artifact->entries, batch_artifact->pool_begin,
+      batch_artifact->num_features);
+  batch_report.Merge(t3::BatchEquivalenceValidator().Validate(
+      *forest, batch_artifact->code.data(), batch_artifact->code.size(),
+      batch_artifact->entries, batch_artifact->pool_begin));
+  batch.state =
+      batch_report.HasErrors() ? PassState::kFailed : PassState::kOk;
+  result->report.Merge(batch_report);
 }
 
 void LintPlan(const std::string& content, FileResult* result) {
