@@ -83,7 +83,7 @@ QErrorSummary EvaluateMasked(const T3Model& model,
     }
     q_errors.push_back(QError(predicted, record->median_seconds));
   }
-  return SummarizeQErrors(q_errors);
+  return Summarize(q_errors);
 }
 
 void Run() {

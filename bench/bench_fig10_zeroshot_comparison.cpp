@@ -52,7 +52,7 @@ void Run() {
         zero_shot->PredictQuerySeconds(*record, CardinalityMode::kTrue);
     nn_qerrors.push_back(QError(pred, record->median_seconds, 1e-7));
   }
-  const QErrorSummary nn_summary = SummarizeQErrors(nn_qerrors);
+  const QErrorSummary nn_summary = Summarize(nn_qerrors);
 
   PrintExperimentHeader(
       "Figure 10: T3 vs Zero Shot on the Join Order Benchmark (like) "

@@ -84,8 +84,8 @@ void Run() {
           zero_shot->PredictQuerySecondsWithCards(summary, node_cards);
       nn_qerrors.push_back(QError(nn_pred, actual, 1e-7));
     }
-    const QErrorSummary t3_summary = SummarizeQErrors(t3_qerrors);
-    const QErrorSummary nn_summary = SummarizeQErrors(nn_qerrors);
+    const QErrorSummary t3_summary = Summarize(t3_qerrors);
+    const QErrorSummary nn_summary = Summarize(nn_qerrors);
     table.AddRow({StrFormat("%.0fx", factor), bench::FormatQ(t3_summary.p50),
                   bench::FormatQ(t3_summary.avg),
                   bench::FormatQ(nn_summary.p50),

@@ -12,7 +12,7 @@ void Run() {
   const Corpus& corpus = workbench.corpus();
   const auto test_records = SelectRecords(corpus, bench::IsTest);
   const int total_runs =
-      static_cast<int>(corpus.records.front().run_seconds.size());
+      static_cast<int>(corpus.records.front().total_run_seconds.size());
 
   PrintExperimentHeader(
       "Figure 14: Model accuracy for different numbers of benchmark runs",

@@ -54,7 +54,7 @@ void Run() {
         zero_shot->PredictQuerySeconds(*record, CardinalityMode::kTrue);
     nn_qerrors.push_back(QError(pred, record->median_seconds, 1e-7));
   }
-  const QErrorSummary nn_acc = SummarizeQErrors(nn_qerrors);
+  const QErrorSummary nn_acc = Summarize(nn_qerrors);
 
   // Latency on a typical test query.
   const QueryRecord* query = test_records[test_records.size() / 2];

@@ -30,7 +30,7 @@ void Run() {
     std::printf("q>=%-7.2f | %-50s %zu\n", edge,
                 std::string(bar, '#').c_str(), hist.buckets[b]);
   }
-  const QErrorSummary summary = SummarizeQErrors(qerrors);
+  const QErrorSummary summary = Summarize(qerrors);
   std::printf("\n%s\n", summary.ToString().c_str());
   size_t within_2 = 0;
   for (double q : qerrors) within_2 += q <= 2.0 ? 1 : 0;

@@ -27,7 +27,7 @@ void Run() {
     const size_t keep = (record.total_run_seconds.size() * 2 + 2) / 3;
     deviations.push_back(qerrors[keep - 1]);
   }
-  const QErrorSummary summary = SummarizeQErrors(deviations);
+  const QErrorSummary summary = Summarize(deviations);
 
   PrintExperimentHeader(
       "Table 3: Deviations of benchmarks as q-error",

@@ -15,7 +15,7 @@ void Run() {
 
   int max_test_tier = 0;
   for (const QueryRecord& r : corpus.records) {
-    if (r.is_test) max_test_tier = std::max(max_test_tier, r.scale_tier);
+    if (r.is_test) max_test_tier = std::max(max_test_tier, r.scale_index);
   }
 
   struct Row {
@@ -31,11 +31,11 @@ void Run() {
        [](const QueryRecord& r) { return r.is_test && r.fixed_suite; }},
       {"TPC-DS largest-sf test queries",
        [top_tier](const QueryRecord& r) {
-         return r.is_test && r.scale_tier == top_tier;
+         return r.is_test && r.scale_index == top_tier;
        }},
       {"TPC-DS largest-sf benchmark queries",
        [top_tier](const QueryRecord& r) {
-         return r.is_test && r.fixed_suite && r.scale_tier == top_tier;
+         return r.is_test && r.fixed_suite && r.scale_index == top_tier;
        }},
   };
 

@@ -2,6 +2,7 @@
 #define T3_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,9 +21,14 @@ namespace t3 {
 namespace bench {
 
 /// The shared workbench of all experiment binaries. Every bench binary run
-/// from the repository root reuses the cache in ./data.
+/// from the repository root reuses the cache in ./data; T3_DATA_DIR
+/// redirects the cache (CI smoke runs use a scratch directory so their
+/// quick-mode models never shadow the real ones).
 inline Workbench& SharedWorkbench() {
-  static Workbench* workbench = new Workbench("data");
+  static Workbench* workbench = [] {
+    const char* dir = std::getenv("T3_DATA_DIR");
+    return new Workbench(dir != nullptr && dir[0] != '\0' ? dir : "data");
+  }();
   return *workbench;
 }
 

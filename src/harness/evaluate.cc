@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "common/string_util.h"
 
 namespace t3 {
 
@@ -12,7 +13,12 @@ double QError(double predicted_seconds, double actual_seconds) {
   return std::max(p / a, a / p);
 }
 
-QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors) {
+std::string QErrorSummary::ToString() const {
+  return StrFormat("n=%zu p50=%.3f p90=%.3f avg=%.3f max=%.3f", count, p50,
+                   p90, avg, max);
+}
+
+QErrorSummary Summarize(const std::vector<double>& q_errors) {
   QErrorSummary summary;
   if (q_errors.empty()) return summary;
   summary.p50 = Quantile(q_errors, 0.5);
@@ -33,18 +39,34 @@ std::vector<const QueryRecord*> SelectRecords(
   return selected;
 }
 
-double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
-                           CardinalityMode mode) {
+std::vector<double> SummedQueryFeatures(const QueryRecord& record,
+                                        CardinalityMode mode) {
   const std::vector<PipelineFeatures>& features_set =
       mode == CardinalityMode::kTrue ? record.feat_true : record.feat_est;
-  if (model.target() == PredictionTarget::kPerQuery) {
-    if (features_set.empty()) return 0.0;
-    // Per-query models are trained on a single per-query vector; until the
-    // feature module reconstructs that exact vector we use the first
-    // pipeline's features, which carry the query-level counts.
-    return model.PredictPipelineSeconds(features_set[0].values.data(),
-                                        features_set[0].input_cardinality);
+  std::vector<double> summed;
+  for (const PipelineFeatures& features : features_set) {
+    if (features.values.empty()) continue;
+    if (summed.empty()) {
+      summed = features.values;
+      continue;
+    }
+    if (features.values.size() != summed.size()) return {};
+    for (size_t i = 0; i < summed.size(); ++i) {
+      summed[i] += features.values[i];
+    }
   }
+  return summed;
+}
+
+double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
+                           CardinalityMode mode) {
+  if (model.target() == PredictionTarget::kPerQuery) {
+    const std::vector<double> summed = SummedQueryFeatures(record, mode);
+    if (summed.empty()) return 0.0;
+    return model.PredictPipelineSeconds(summed.data(), 0.0);
+  }
+  const std::vector<PipelineFeatures>& features_set =
+      mode == CardinalityMode::kTrue ? record.feat_true : record.feat_est;
   double total = 0.0;
   for (const PipelineFeatures& features : features_set) {
     total += model.PredictPipelineSeconds(features.values.data(),
@@ -71,31 +93,40 @@ std::vector<double> PredictQuerySecondsBatched(
   std::vector<double> seconds(records.size(), 0.0);
   if (records.empty()) return seconds;
 
-  // Flatten the rows every record contributes. Per-query targets read only
-  // the first pipeline's vector (matching PredictQuerySeconds); the other
-  // targets sum over all pipelines.
+  // Flatten the rows every record contributes. Per-query targets contribute
+  // one summed vector per record (matching PredictQuerySeconds); the other
+  // targets one row per pipeline.
   const bool per_query = model.target() == PredictionTarget::kPerQuery;
   size_t num_features = 0;
   std::vector<double> flat;
   std::vector<size_t> row_record;
   std::vector<double> row_cardinality;
+  // Ragged feature rows cannot share one batch; the per-record path is
+  // bit-identical by the evaluator contract.
+  auto predict_ragged = [&] {
+    for (size_t i = 0; i < records.size(); ++i) {
+      seconds[i] = PredictQuerySeconds(model, *records[i], mode);
+    }
+    return seconds;
+  };
   for (size_t r = 0; r < records.size(); ++r) {
+    if (per_query) {
+      const std::vector<double> summed =
+          SummedQueryFeatures(*records[r], mode);
+      if (summed.empty()) continue;
+      if (row_record.empty()) num_features = summed.size();
+      if (summed.size() != num_features) return predict_ragged();
+      flat.insert(flat.end(), summed.begin(), summed.end());
+      row_record.push_back(r);
+      row_cardinality.push_back(0.0);
+      continue;
+    }
     const std::vector<PipelineFeatures>& features_set =
         mode == CardinalityMode::kTrue ? records[r]->feat_true
                                        : records[r]->feat_est;
-    const size_t used =
-        per_query ? std::min<size_t>(features_set.size(), 1) : features_set.size();
-    for (size_t p = 0; p < used; ++p) {
-      const PipelineFeatures& features = features_set[p];
+    for (const PipelineFeatures& features : features_set) {
       if (row_record.empty()) num_features = features.values.size();
-      if (features.values.size() != num_features) {
-        // Ragged feature rows cannot share one batch; the per-record path
-        // is bit-identical by the evaluator contract.
-        for (size_t i = 0; i < records.size(); ++i) {
-          seconds[i] = PredictQuerySeconds(model, *records[i], mode);
-        }
-        return seconds;
-      }
+      if (features.values.size() != num_features) return predict_ragged();
       flat.insert(flat.end(), features.values.begin(), features.values.end());
       row_record.push_back(r);
       row_cardinality.push_back(features.input_cardinality);
@@ -116,6 +147,35 @@ std::vector<double> PredictQuerySecondsBatched(
     seconds[row_record[i]] += s;
   }
   return seconds;
+}
+
+std::vector<RecordEvaluation> EvaluateModel(
+    const T3Model& model, const std::vector<const QueryRecord*>& records,
+    CardinalityMode mode) {
+  std::vector<RecordEvaluation> evals;
+  evals.reserve(records.size());
+  for (const QueryRecord* record : records) {
+    RecordEvaluation eval;
+    eval.record = record;
+    eval.predicted_seconds = PredictQuerySeconds(model, *record, mode);
+    eval.actual_seconds = record->median_seconds;
+    eval.q_error = QError(eval.predicted_seconds, eval.actual_seconds);
+    evals.push_back(eval);
+  }
+  return evals;
+}
+
+std::vector<double> QErrors(const std::vector<RecordEvaluation>& evals) {
+  std::vector<double> q_errors;
+  q_errors.reserve(evals.size());
+  for (const RecordEvaluation& eval : evals) {
+    q_errors.push_back(eval.q_error);
+  }
+  return q_errors;
+}
+
+QErrorSummary Summarize(const std::vector<RecordEvaluation>& evals) {
+  return Summarize(QErrors(evals));
 }
 
 std::vector<double> QErrorsBatched(

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "harness/corpus.h"
@@ -24,9 +25,15 @@ struct QErrorSummary {
   double avg = 0.0;
   double max = 0.0;
   size_t count = 0;
+
+  /// "n=24 p50=1.234 p90=2.345 avg=1.901 max=12.345", the one-line form
+  /// bench binaries print under their tables.
+  std::string ToString() const;
 };
 
-QErrorSummary SummarizeQErrors(const std::vector<double>& q_errors);
+/// The canonical reducer of q-errors to the paper's reported triple (both
+/// the benches and the tests go through this one name).
+QErrorSummary Summarize(const std::vector<double>& q_errors);
 
 /// Records matching a predicate, e.g. bench filters IsTest / IsTrain.
 std::vector<const QueryRecord*> SelectRecords(
@@ -37,9 +44,17 @@ std::vector<const QueryRecord*> SelectRecords(
 /// lines) or the estimator's ("FE" lines, Figure 11's degraded setting).
 enum class CardinalityMode { kTrue = 0, kEstimated = 1 };
 
+/// The per-query feature vector of the kPerQuery target: the elementwise
+/// left-to-right sum of the record's pipeline vectors under `mode` — the
+/// "one summed vector per query" representation of the paper's Figure 13
+/// ablation. Empty when the record has no feature rows or their dimensions
+/// disagree.
+std::vector<double> SummedQueryFeatures(const QueryRecord& record,
+                                        CardinalityMode mode);
+
 /// Predicted total seconds of one corpus query under `model`: per-pipeline
 /// predictions summed over pipelines for per-tuple/per-pipeline targets;
-/// single per-query prediction otherwise.
+/// one prediction over SummedQueryFeatures for per-query targets.
 double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
                            CardinalityMode mode = CardinalityMode::kTrue);
 
@@ -47,6 +62,27 @@ double PredictQuerySeconds(const T3Model& model, const QueryRecord& record,
 std::vector<double> QErrors(const T3Model& model,
                             const std::vector<const QueryRecord*>& records,
                             CardinalityMode mode = CardinalityMode::kTrue);
+
+/// One record's evaluation under a model: what the paper's accuracy tables
+/// are made of before Summarize reduces them.
+struct RecordEvaluation {
+  const QueryRecord* record = nullptr;
+  double predicted_seconds = 0.0;
+  double actual_seconds = 0.0;  ///< The record's measured median.
+  double q_error = 0.0;
+};
+
+/// Evaluates `model` over every record: predicted vs measured seconds plus
+/// the q-error, one entry per record in input order.
+std::vector<RecordEvaluation> EvaluateModel(
+    const T3Model& model, const std::vector<const QueryRecord*>& records,
+    CardinalityMode mode = CardinalityMode::kTrue);
+
+/// The q-error column of a set of evaluations, in order.
+std::vector<double> QErrors(const std::vector<RecordEvaluation>& evals);
+
+/// Reduces per-record evaluations to the paper's reported summary.
+QErrorSummary Summarize(const std::vector<RecordEvaluation>& evals);
 
 /// Batched counterpart of PredictQuerySeconds over a whole record set: every
 /// pipeline feature row the records contribute is flattened into one

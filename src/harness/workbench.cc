@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "analysis/forest_diff.h"
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "features/feature_registry.h"
 #include "gbt/trainer.h"
 #include "harness/runner.h"
 
@@ -17,20 +19,115 @@ namespace {
 
 constexpr char kCorpusFile[] = "corpus_q40_r10.txt";
 constexpr char kLiveCorpusCache[] = "cache_corpus_live.txt";
-constexpr char kMainModelCache[] = "cache_model_main.txt";
+
+const char* ModeSuffix(CardinalityMode mode) {
+  return mode == CardinalityMode::kTrue ? "true" : "est";
+}
+
+/// T3_QUICK_TREES=<n> caps every training run at n trees (CI bench smoke);
+/// 0 = no cap.
+int QuickTreesCap() {
+  const char* value = std::getenv("T3_QUICK_TREES");
+  if (value == nullptr) return 0;
+  int64_t parsed = 0;
+  if (!ParseInt64(value, &parsed) || parsed <= 0) {
+    std::fprintf(stderr, "Workbench: ignoring invalid T3_QUICK_TREES=%s\n",
+                 value);
+    return 0;
+  }
+  return static_cast<int>(parsed);
+}
 
 }  // namespace
 
-Workbench::Workbench(std::string data_dir) : data_dir_(std::move(data_dir)) {}
+std::vector<NamedModelConfig> NamedModelConfigs() {
+  std::vector<NamedModelConfig> configs;
+
+  NamedModelConfig main_config;
+  main_config.name = "main";
+  configs.push_back(main_config);
+
+  NamedModelConfig per_pipeline;
+  per_pipeline.name = "ablation_per_pipeline";
+  per_pipeline.config.target = PredictionTarget::kPerPipeline;
+  configs.push_back(per_pipeline);
+
+  NamedModelConfig per_query;
+  per_query.name = "ablation_per_query";
+  per_query.config.target = PredictionTarget::kPerQuery;
+  configs.push_back(per_query);
+
+  NamedModelConfig on_estimates;
+  on_estimates.name = "t3_trained_on_estimates";
+  on_estimates.mode = CardinalityMode::kEstimated;
+  configs.push_back(on_estimates);
+
+  NamedModelConfig single_run;
+  single_run.name = "runs_1";
+  single_run.runs_limit = 1;
+  configs.push_back(single_run);
+
+  // Feature ablation: the predicate-class percentage slots zeroed out.
+  NamedModelConfig no_predicates;
+  no_predicates.name = "ablation_no_predicates";
+  const FeatureRegistry& registry = FeatureRegistry::Get();
+  for (int i = 0; i < registry.num_features(); ++i) {
+    if (registry.def(i).pred_slot >= 0) {
+      no_predicates.config.drop_features.push_back(i);
+    }
+  }
+  configs.push_back(no_predicates);
+
+  // Leave-one-out example (Figure 9 builds one per family on the fly).
+  NamedModelConfig loo_tpch;
+  loo_tpch.name = "loo_tpch";
+  loo_tpch.train_filter = [](const QueryRecord& r) {
+    return r.instance.rfind("tpch", 0) != 0;
+  };
+  configs.push_back(loo_tpch);
+
+  return configs;
+}
+
+Workbench::Workbench(std::string data_dir)
+    : Workbench(std::move(data_dir), WorkbenchOptions()) {}
+
+Workbench::Workbench(std::string data_dir, WorkbenchOptions options)
+    : data_dir_(std::move(data_dir)), options_(std::move(options)) {}
 
 Workbench::~Workbench() = default;
+
+ThreadPool& Workbench::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(std::max<size_t>(
+        options_.num_threads, 1));
+  }
+  return *pool_;
+}
 
 const Corpus& Workbench::corpus() {
   if (corpus_ != nullptr) return *corpus_;
 
-  // Preference order: the full benchmarked fixture (when present), then a
-  // previously generated live corpus, then a fresh live build (datagen ->
-  // querygen -> engine -> featurizer) cached for subsequent binaries.
+  // Preference order: an explicit override (option, then T3_CORPUS env),
+  // the full benchmarked fixture (when present), then a previously
+  // generated live corpus, then a fresh live build (datagen -> querygen ->
+  // engine -> featurizer) cached for subsequent binaries.
+  std::string override_path = options_.corpus_path;
+  if (override_path.empty()) {
+    const char* env = std::getenv("T3_CORPUS");
+    if (env != nullptr && env[0] != '\0') override_path = env;
+  }
+  if (!override_path.empty()) {
+    Result<Corpus> loaded = LoadCorpusFromFile(override_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "Workbench: cannot load corpus override %s: %s\n",
+                   override_path.c_str(), loaded.status().ToString().c_str());
+      T3_CHECK(loaded.ok());
+    }
+    corpus_ = std::make_unique<Corpus>(*std::move(loaded));
+    return *corpus_;
+  }
+
   const std::string fixture_path = data_dir_ + "/" + kCorpusFile;
   Result<Corpus> loaded = LoadCorpusFromFile(fixture_path);
   if (!loaded.ok()) {
@@ -42,9 +139,8 @@ const Corpus& Workbench::corpus() {
                    "corpus (all instances; this takes a few minutes on "
                    "first run)...\n",
                    fixture_path.c_str());
-      ThreadPool pool(4);
       LiveCorpusOptions options;
-      options.pool = &pool;
+      options.pool = &pool();
       Stopwatch timer;
       Result<Corpus> live = BuildLiveCorpus(options);
       if (!live.ok()) {
@@ -68,97 +164,110 @@ const Corpus& Workbench::corpus() {
 }
 
 const T3Model& Workbench::MainModel() {
-  if (main_model_ != nullptr) return *main_model_;
+  return GetModel("main", CardinalityMode::kTrue);
+}
 
-  const std::string cache_path = data_dir_ + "/" + kMainModelCache;
+const T3Model& Workbench::GetModel(const NamedModelConfig& named) {
+  return GetModel(named.name, named.mode, named.train_filter, named.config,
+                  named.runs_limit);
+}
+
+const T3Model& Workbench::GetModel(const std::string& name,
+                                   CardinalityMode mode,
+                                   const RecordFilter& train_filter,
+                                   const T3Config& config, int runs_limit) {
+  const std::string key = name + "_" + ModeSuffix(mode);
+  auto it = models_.find(key);
+  if (it != models_.end()) return *it->second;
+
+  const std::string cache_path =
+      data_dir_ + "/cache_model_" + key + ".txt";
   Result<T3Model> cached = T3Model::LoadFromFile(cache_path);
+  if (cached.ok() && cached->target() == config.target) {
+    return *(models_[key] =
+                 std::make_unique<T3Model>(*std::move(cached)));
+  }
   if (cached.ok()) {
-    main_model_ = std::make_unique<T3Model>(*std::move(cached));
-    return *main_model_;
+    std::fprintf(stderr,
+                 "Workbench: cached model %s has target %d, config wants "
+                 "%d; retraining.\n",
+                 cache_path.c_str(), static_cast<int>(cached->target()),
+                 static_cast<int>(config.target));
+  } else if (cached.status().code() != StatusCode::kNotFound) {
+    // A cache file that exists but fails the loader's validation is never
+    // served: report it and retrain from the corpus.
+    std::fprintf(stderr,
+                 "Workbench: rejecting cached model %s (%s); retraining.\n",
+                 cache_path.c_str(), cached.status().ToString().c_str());
   }
 
-  // Train the per-tuple model on the train split: one row per pipeline
-  // (true-cardinality features), target = negated log per-tuple time.
   const Corpus& data = corpus();
-  size_t num_features = 0;
-  for (const QueryRecord& record : data.records) {
-    if (!record.feat_true.empty()) {
-      num_features = record.feat_true[0].values.size();
-      break;
-    }
-  }
-  T3_CHECK(num_features > 0);
+  Result<TrainingMatrix> matrix = BuildTrainingMatrix(
+      data, train_filter, mode, config, runs_limit, &pool());
+  T3_CHECK_OK(matrix);
 
-  std::vector<double> rows;
-  std::vector<double> targets;
-  for (const QueryRecord& record : data.records) {
-    if (record.is_test) continue;
-    for (size_t p = 0; p < record.feat_true.size(); ++p) {
-      const PipelineFeatures& features = record.feat_true[p];
-      if (features.values.size() != num_features) continue;
-      const double pipeline_seconds =
-          p < record.pipeline_times.size()
-              ? record.pipeline_times[p].median_seconds
-              : record.median_seconds;
-      const double tuples = std::max(features.input_cardinality, 1.0);
-      rows.insert(rows.end(), features.values.begin(), features.values.end());
-      targets.push_back(TransformTarget(pipeline_seconds / tuples));
-    }
-  }
-  T3_CHECK(!targets.empty());
-
-  TrainParams params;
-  params.num_trees = 200;
-  params.max_leaves = 31;
-  params.objective = Objective::kMape;
-  params.validation_fraction = 0.1;
-  params.early_stopping_rounds = 20;
+  TrainParams params = config.train;
+  const int quick_cap = QuickTreesCap();
+  if (quick_cap > 0) params.num_trees = std::min(params.num_trees, quick_cap);
 
   std::fprintf(stderr,
-               "Workbench: training main model on %zu pipelines x %zu "
-               "features...\n",
-               targets.size(), num_features);
+               "Workbench: training model %s on %zu rows x %zu features...\n",
+               key.c_str(), matrix->targets.size(), matrix->num_features);
   Stopwatch timer;
   TrainStats stats;
   Result<Forest> forest =
-      TrainForest(rows, targets, num_features, params, &stats);
+      TrainForest(matrix->rows, matrix->targets, matrix->num_features, params,
+                  &stats);
   T3_CHECK_OK(forest);
-  std::fprintf(stderr, "Workbench: trained %d trees in %.1fs (valid MAPE %.3f)\n",
-               stats.num_trees, timer.ElapsedSeconds(), stats.best_valid_loss);
+  std::fprintf(stderr,
+               "Workbench: trained %s: %d trees in %.1fs (valid MAPE %.3f)\n",
+               key.c_str(), stats.num_trees, timer.ElapsedSeconds(),
+               stats.best_valid_loss);
 
-  main_model_ = std::make_unique<T3Model>(*std::move(forest),
-                                          PredictionTarget::kPerTuple);
-  const Status saved = main_model_->SaveToFile(cache_path);
-  if (!saved.ok()) {
-    std::fprintf(stderr, "Workbench: cannot cache model: %s\n",
-                 saved.ToString().c_str());
-    return *main_model_;
+  // Dropped-feature invariant: a column zeroed during training is constant,
+  // so the trainer must never have split on it — which is what makes the
+  // ablation sound at evaluation time (the forest cannot read the feature).
+  const std::vector<int> split_counts = FeatureSplitCounts(*forest);
+  for (const int dropped : config.drop_features) {
+    if (dropped >= 0 &&
+        static_cast<size_t>(dropped) < split_counts.size()) {
+      T3_CHECK(split_counts[static_cast<size_t>(dropped)] == 0);
+    }
   }
 
-  // Drift check on the cache we just wrote: reload it and statically bound
-  // max |trained(x) - cached(x)| over the whole feature space. The text
-  // serializer is bit-exact, so the proven bound must be exactly zero — a
-  // nonzero bound means future runs would silently benchmark a model that
-  // diverges from the one just trained.
+  auto model =
+      std::make_unique<T3Model>(*std::move(forest), config.target);
+  const T3Model& result = *(models_[key] = std::move(model));
+
+  const Status saved = result.SaveToFile(cache_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "Workbench: cannot cache model %s: %s\n",
+                 key.c_str(), saved.ToString().c_str());
+    return result;
+  }
+
+  // Bit-exactness proof for the cache we just wrote: reload it and
+  // statically bound max |trained(x) - cached(x)| over the whole feature
+  // space via ForestDiff. The text serializer is bit-exact, so the proven
+  // bound must be exactly zero — anything else means future runs would
+  // silently benchmark a model that diverges from the one just trained.
   Result<T3Model> reread = T3Model::LoadFromFile(cache_path);
   if (!reread.ok()) {
-    std::fprintf(stderr, "Workbench: cannot reread cached model: %s\n",
-                 reread.status().ToString().c_str());
-    return *main_model_;
+    std::fprintf(stderr, "Workbench: cannot reread cached model %s: %s\n",
+                 cache_path.c_str(), reread.status().ToString().c_str());
+    T3_CHECK(reread.ok());
   }
   Result<ForestDiffBounds> drift =
-      ForestDiff(main_model_->forest(), reread->forest());
-  if (!drift.ok()) {
-    std::fprintf(stderr, "Workbench: cache drift check failed: %s\n",
-                 drift.status().ToString().c_str());
-  } else if (drift->MaxAbs() != 0.0) {
+      ForestDiff(result.forest(), reread->forest());
+  T3_CHECK_OK(drift);
+  if (drift->MaxAbs() != 0.0) {
     std::fprintf(stderr,
-                 "Workbench: WARNING: cached model drifts from the trained "
-                 "one by up to %.17g over the input space; delete %s to "
-                 "retrain.\n",
-                 drift->MaxAbs(), cache_path.c_str());
+                 "Workbench: cached model %s drifts from the trained one by "
+                 "up to %.17g over the input space.\n",
+                 cache_path.c_str(), drift->MaxAbs());
+    T3_CHECK(drift->MaxAbs() == 0.0);
   }
-  return *main_model_;
+  return result;
 }
 
 }  // namespace t3

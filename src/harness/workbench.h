@@ -1,28 +1,73 @@
 #ifndef T3_HARNESS_WORKBENCH_H_
 #define T3_HARNESS_WORKBENCH_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "harness/corpus.h"
+#include "harness/evaluate.h"
+#include "harness/training.h"
 #include "model/t3_model.h"
 
 namespace t3 {
 
+struct WorkbenchOptions {
+  /// Explicit corpus file to load. Empty = the standard search order: the
+  /// T3_CORPUS environment override, the full benchmarked fixture
+  /// (corpus_q40_r10.txt), a previously cached live corpus, then a fresh
+  /// live build.
+  std::string corpus_path;
+  /// Worker threads for training-row assembly and live corpus generation.
+  /// Training output is bit-identical for every value (see
+  /// BuildTrainingMatrix).
+  size_t num_threads = 4;
+};
+
+/// One entry of the named model-configuration registry: everything
+/// GetModel needs to (re)produce the model byte-identically.
+struct NamedModelConfig {
+  std::string name;
+  CardinalityMode mode = CardinalityMode::kTrue;
+  RecordFilter train_filter;  ///< Null = the train split (!is_test).
+  T3Config config;
+  int runs_limit = 0;  ///< 0 = stored medians (see BuildTrainingMatrix).
+};
+
+/// The named model configurations of the paper's experiment grid — the
+/// ablation targets (Figure 13), estimated-cardinality training
+/// (Figure 11), a leave-one-out example (Figure 9), a single-run target
+/// (Figure 14), and a predicate-feature ablation. The harness test battery
+/// trains every entry and proves the cache round-trip bit-exact; benches
+/// construct further configs (e.g. per-family leave-one-out) on the fly.
+std::vector<NamedModelConfig> NamedModelConfigs();
+
 /// Shared cache of expensive experiment artifacts (DESIGN.md "Shared
 /// experiment state"). Every bench binary works from the same `data_dir`:
-/// the corpus is loaded from `corpus_q40_r10.txt`, and trained models are
-/// cached as `cache_model_*.txt` (gitignored) so only the first binary pays
-/// the training cost.
+/// the corpus is loaded (or live-built) once, and every trained model
+/// configuration is cached as `cache_model_<name>_<mode>.txt` (gitignored)
+/// so only the first binary pays the training cost.
 ///
-/// Corpus *generation* (datagen + querygen + engine) is pending
-/// reconstruction; until then the checked-in corpus fixture is required.
+/// Training is bit-deterministic per configuration: the same corpus and
+/// config produce byte-identical cache files regardless of thread count or
+/// process. Every freshly written cache is reloaded and proven bit-exact
+/// against the in-memory model via ForestDiff; a cache file the loader
+/// rejects (corrupt, truncated, wrong target) is discarded and the model
+/// retrained, never served.
+///
+/// The T3_QUICK_TREES environment variable (a positive integer) caps the
+/// tree count of every training run — CI smoke-runs the paper benches this
+/// way against the mini corpus.
+///
 /// Accessors T3_CHECK on missing artifacts — bench binaries have no
 /// recovery path; library code should use the Status-returning loaders in
-/// harness/corpus.h instead.
+/// harness/corpus.h and harness/training.h instead.
 class Workbench {
  public:
   explicit Workbench(std::string data_dir);
+  Workbench(std::string data_dir, WorkbenchOptions options);
   ~Workbench();
 
   const std::string& data_dir() const { return data_dir_; }
@@ -30,15 +75,33 @@ class Workbench {
   /// The benchmarked query corpus; loaded lazily, then cached.
   const Corpus& corpus();
 
-  /// The main T3 model: per-tuple target, MAPE objective, 200 trees of
-  /// <= 31 leaves on the corpus train split (true-cardinality features).
-  /// Trained on first use and cached under data_dir.
+  /// The main T3 model: GetModel("main", kTrue) — per-tuple target, MAPE
+  /// objective, 200 trees of <= 31 leaves on the corpus train split
+  /// (true-cardinality features).
   const T3Model& MainModel();
 
+  /// The model of one named configuration, trained on the `train_filter`
+  /// subset (null = !is_test) with `mode` features; `config` and
+  /// `runs_limit` follow BuildTrainingMatrix. Trains on first use, caches
+  /// in memory and as cache_model_<name>_<mode>.txt under data_dir; later
+  /// calls (and processes) reuse the cache. The name must uniquely identify
+  /// the configuration — it is the cache key.
+  const T3Model& GetModel(const std::string& name, CardinalityMode mode,
+                          const RecordFilter& train_filter = nullptr,
+                          const T3Config& config = T3Config(),
+                          int runs_limit = 0);
+
+  /// GetModel over a registry entry.
+  const T3Model& GetModel(const NamedModelConfig& named);
+
  private:
+  ThreadPool& pool();
+
   std::string data_dir_;
+  WorkbenchOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Corpus> corpus_;
-  std::unique_ptr<T3Model> main_model_;
+  std::map<std::string, std::unique_ptr<T3Model>> models_;  // by cache key
 };
 
 }  // namespace t3

@@ -1,17 +1,23 @@
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analysis/forest_diff.h"
 #include "common/check.h"
 #include "common/stats.h"
+#include "common/string_util.h"
 #include "gbt/trainer.h"
 #include "harness/corpus.h"
 #include "harness/evaluate.h"
 #include "harness/report.h"
+#include "harness/workbench.h"
 #include "model/t3_model.h"
 
 namespace t3 {
@@ -205,8 +211,8 @@ TEST(EvaluateTest, QErrorIsSymmetricRatio) {
   EXPECT_TRUE(std::isfinite(QError(1.0, 0.0)));
 }
 
-TEST(EvaluateTest, SummarizeQErrors) {
-  const QErrorSummary summary = SummarizeQErrors({1, 1, 1, 1, 1, 1, 1, 1, 1, 10});
+TEST(EvaluateTest, SummarizeReducesQErrors) {
+  const QErrorSummary summary = Summarize({1, 1, 1, 1, 1, 1, 1, 1, 1, 10});
   EXPECT_DOUBLE_EQ(summary.p50, 1.0);
   EXPECT_NEAR(summary.avg, 1.9, 1e-12);
   EXPECT_GE(summary.p90, 1.0);
@@ -249,7 +255,7 @@ TEST(EvaluateTest, TrainedModelBeatsTrivialBaselineOnTrainSet) {
   ASSERT_TRUE(forest.ok()) << forest.status().ToString();
   const T3Model model(*std::move(forest), PredictionTarget::kPerTuple);
 
-  const QErrorSummary summary = SummarizeQErrors(QErrors(model, records));
+  const QErrorSummary summary = Summarize(QErrors(model, records));
   EXPECT_LT(summary.p50, 2.0);
 
   std::vector<double> medians;
@@ -259,9 +265,255 @@ TEST(EvaluateTest, TrainedModelBeatsTrivialBaselineOnTrainSet) {
   for (const QueryRecord* r : records) {
     baseline_errors.push_back(QError(global, r->median_seconds));
   }
-  const QErrorSummary baseline = SummarizeQErrors(baseline_errors);
+  const QErrorSummary baseline = Summarize(baseline_errors);
   EXPECT_LT(summary.p50, baseline.p50)
       << "model p50 " << summary.p50 << " vs baseline p50 " << baseline.p50;
+}
+
+// --- Workbench: per-config training, caching, and determinism. ---
+
+std::string MiniCorpusPath() {
+  return std::string(T3_SOURCE_DIR) + "/data/corpus_mini.txt";
+}
+
+const char* ModeSuffix(CardinalityMode mode) {
+  return mode == CardinalityMode::kTrue ? "true" : "est";
+}
+
+std::string CacheModelPath(const std::string& data_dir,
+                           const std::string& name, CardinalityMode mode) {
+  return data_dir + "/cache_model_" + name + "_" + ModeSuffix(mode) + ".txt";
+}
+
+/// A fresh (per test-case) scratch data_dir with no stale model caches, so
+/// every GetModel call below provably trains rather than reloads.
+std::string MakeScratchDataDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/t3_harness_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  for (const NamedModelConfig& named : NamedModelConfigs()) {
+    std::remove(CacheModelPath(dir, named.name, named.mode).c_str());
+  }
+  std::remove(CacheModelPath(dir, "golden", CardinalityMode::kTrue).c_str());
+  return dir;
+}
+
+WorkbenchOptions MiniCorpusOptions(size_t num_threads = 4) {
+  // Hermetic: a capped tree count from the CI bench-smoke environment would
+  // change what these tests train and break the byte-level assertions.
+  ::unsetenv("T3_QUICK_TREES");
+  WorkbenchOptions options;
+  options.corpus_path = MiniCorpusPath();
+  options.num_threads = num_threads;
+  return options;
+}
+
+TEST(WorkbenchTest, GetModelCachesEveryNamedConfigBitExactly) {
+  const std::string dir = MakeScratchDataDir("named_configs");
+  Workbench workbench(dir, MiniCorpusOptions());
+
+  for (NamedModelConfig named : NamedModelConfigs()) {
+    // Small forests keep 7 training runs fast; everything else (target,
+    // mode, filters, dropped features, runs limit) is the registry entry.
+    named.config.train.num_trees = 12;
+    const T3Model& model = workbench.GetModel(named);
+    EXPECT_EQ(model.target(), named.config.target) << named.name;
+
+    // The cache file exists and reloads into a forest that ForestDiff
+    // proves pointwise identical over the entire input space.
+    const std::string cache_path =
+        CacheModelPath(dir, named.name, named.mode);
+    Result<T3Model> reloaded = T3Model::LoadFromFile(cache_path);
+    ASSERT_TRUE(reloaded.ok())
+        << named.name << ": " << reloaded.status().ToString();
+    EXPECT_EQ(reloaded->target(), model.target()) << named.name;
+    Result<ForestDiffBounds> drift =
+        ForestDiff(model.forest(), reloaded->forest());
+    ASSERT_TRUE(drift.ok()) << drift.status().ToString();
+    EXPECT_EQ(drift->MaxAbs(), 0.0) << named.name;
+
+    // A second request is served from memory: same instance, no retrain.
+    EXPECT_EQ(&workbench.GetModel(named), &model) << named.name;
+  }
+}
+
+TEST(WorkbenchTest, SecondWorkbenchServesTheCacheFileUnchanged) {
+  const std::string dir = MakeScratchDataDir("cache_reuse");
+  T3Config config;
+  config.train.num_trees = 10;
+
+  Workbench first(dir, MiniCorpusOptions());
+  const T3Model& trained =
+      first.GetModel("main", CardinalityMode::kTrue, nullptr, config);
+  const std::string cache_path =
+      CacheModelPath(dir, "main", CardinalityMode::kTrue);
+  Result<std::string> bytes = ReadFileToString(cache_path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  // A fresh process (modeled by a fresh Workbench) loads the cache instead
+  // of retraining: the file is byte-identical afterwards and the served
+  // model matches the trained one everywhere.
+  Workbench second(dir, MiniCorpusOptions());
+  const T3Model& served =
+      second.GetModel("main", CardinalityMode::kTrue, nullptr, config);
+  Result<std::string> bytes_after = ReadFileToString(cache_path);
+  ASSERT_TRUE(bytes_after.ok());
+  EXPECT_EQ(*bytes_after, *bytes);
+  Result<ForestDiffBounds> drift =
+      ForestDiff(trained.forest(), served.forest());
+  ASSERT_TRUE(drift.ok());
+  EXPECT_EQ(drift->MaxAbs(), 0.0);
+}
+
+TEST(WorkbenchTest, TrainingIsByteDeterministicAcrossThreadCounts) {
+  // The tentpole determinism contract: the same corpus and config produce
+  // byte-identical cache files no matter how many threads assemble the
+  // training matrix.
+  T3Config config;
+  config.train.num_trees = 24;
+
+  std::string reference_bytes;
+  size_t thread_counts[] = {1, 5};
+  for (size_t i = 0; i < 2; ++i) {
+    const std::string dir = MakeScratchDataDir(
+        StrFormat("determinism_%zu", thread_counts[i]));
+    Workbench workbench(dir, MiniCorpusOptions(thread_counts[i]));
+    workbench.GetModel("main", CardinalityMode::kTrue, nullptr, config);
+    Result<std::string> bytes = ReadFileToString(
+        CacheModelPath(dir, "main", CardinalityMode::kTrue));
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    ASSERT_FALSE(bytes->empty());
+    if (i == 0) {
+      reference_bytes = *std::move(bytes);
+    } else {
+      EXPECT_EQ(*bytes, reference_bytes)
+          << "training with " << thread_counts[i]
+          << " threads diverged from the single-threaded run";
+    }
+  }
+}
+
+TEST(WorkbenchTest, CorruptCacheIsRejectedAndRetrained) {
+  // tests/data/model_corrupt.txt parses but fails validation: a split node
+  // reads feature 99 of a 48-feature model. The loader must reject it (as
+  // an error, not a missing file) and GetModel must retrain and overwrite
+  // it rather than serve the bad model.
+  const std::string fixture =
+      std::string(T3_SOURCE_DIR) + "/tests/data/model_corrupt.txt";
+  Result<std::string> corrupt = ReadFileToString(fixture);
+  ASSERT_TRUE(corrupt.ok()) << corrupt.status().ToString();
+
+  Result<T3Model> direct = T3Model::LoadFromFile(fixture);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(direct.status().message().find("out of range"),
+            std::string::npos)
+      << direct.status().ToString();
+
+  const std::string dir = MakeScratchDataDir("corrupt_cache");
+  const std::string cache_path =
+      CacheModelPath(dir, "main", CardinalityMode::kTrue);
+  ASSERT_TRUE(WriteStringToFile(cache_path, *corrupt).ok());
+
+  T3Config config;
+  config.train.num_trees = 10;
+  Workbench workbench(dir, MiniCorpusOptions());
+  const T3Model& model =
+      workbench.GetModel("main", CardinalityMode::kTrue, nullptr, config);
+  // The served model is a real retrained forest, not the planted stub...
+  EXPECT_GT(model.forest().trees.size(), 1u);
+  // ...and the cache now holds it, proven by reload + ForestDiff.
+  Result<T3Model> reloaded = T3Model::LoadFromFile(cache_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  Result<ForestDiffBounds> drift =
+      ForestDiff(model.forest(), reloaded->forest());
+  ASSERT_TRUE(drift.ok());
+  EXPECT_EQ(drift->MaxAbs(), 0.0);
+}
+
+TEST(EvaluateTest, EvaluateModelMatchesGoldenFixture) {
+  // Digit-level golden for the whole EvaluateModel path: a deterministic
+  // 32-tree model trained on the mini corpus train split, evaluated on the
+  // 12 held-out records. Regenerate intentionally after a trainer or
+  // featurizer change with:
+  //   T3_UPDATE_GOLDEN=1 ./build/tests/harness_test
+  //     --gtest_filter='*EvaluateModelMatchesGoldenFixture*'
+  const std::string dir = MakeScratchDataDir("eval_golden");
+  Workbench workbench(dir, MiniCorpusOptions());
+  T3Config config;
+  config.train.num_trees = 32;
+  const T3Model& model =
+      workbench.GetModel("golden", CardinalityMode::kTrue, nullptr, config);
+
+  const auto test_records = SelectRecords(
+      workbench.corpus(), [](const QueryRecord& r) { return r.is_test; });
+  ASSERT_EQ(test_records.size(), 12u);
+  const std::vector<RecordEvaluation> evals =
+      EvaluateModel(model, test_records);
+  ASSERT_EQ(evals.size(), test_records.size());
+
+  std::string text;
+  for (const RecordEvaluation& eval : evals) {
+    EXPECT_DOUBLE_EQ(
+        eval.q_error, QError(eval.predicted_seconds, eval.actual_seconds));
+    text += StrFormat("%s g%d predicted=%.17g actual=%.17g q=%.17g\n",
+                      eval.record->instance.c_str(),
+                      eval.record->structure_group, eval.predicted_seconds,
+                      eval.actual_seconds, eval.q_error);
+  }
+  text += "summary " + Summarize(evals).ToString() + "\n";
+
+  const std::string golden_path =
+      std::string(T3_SOURCE_DIR) + "/tests/data/eval_golden.txt";
+  if (std::getenv("T3_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(WriteStringToFile(golden_path, text).ok());
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  Result<std::string> golden = ReadFileToString(golden_path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(text, *golden)
+      << "EvaluateModel output drifted from tests/data/eval_golden.txt; "
+         "if the trainer/featurizer change is intentional, regenerate with "
+         "T3_UPDATE_GOLDEN=1.";
+}
+
+TEST(EvaluateTest, QErrorsOfEvaluationsMatchesDirectQErrors) {
+  T3_REQUIRE_CORPUS();
+  std::vector<const QueryRecord*> records;
+  for (const QueryRecord& record : corpus.records) records.push_back(&record);
+
+  TrainParams params;
+  params.num_trees = 20;
+  params.objective = Objective::kMape;
+  params.min_data_in_leaf = 2;
+  params.validation_fraction = 0.0;
+  std::vector<double> rows;
+  std::vector<double> targets;
+  for (const QueryRecord* record : records) {
+    for (size_t p = 0; p < record->feat_true.size(); ++p) {
+      const PipelineFeatures& features = record->feat_true[p];
+      rows.insert(rows.end(), features.values.begin(), features.values.end());
+      const double tuples = std::max(features.input_cardinality, 1.0);
+      targets.push_back(TransformTarget(
+          record->pipeline_times[p].median_seconds / tuples));
+    }
+  }
+  Result<Forest> forest = TrainForest(rows, targets, 48, params);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  const T3Model model(*std::move(forest), PredictionTarget::kPerTuple);
+
+  // EvaluateModel is the structured view of the QErrors scalar path: same
+  // records, same numbers, bit for bit.
+  const std::vector<RecordEvaluation> evals = EvaluateModel(model, records);
+  const std::vector<double> direct = QErrors(model, records);
+  ASSERT_EQ(evals.size(), direct.size());
+  for (size_t i = 0; i < evals.size(); ++i) {
+    EXPECT_EQ(evals[i].q_error, direct[i]);
+    EXPECT_EQ(evals[i].record, records[i]);
+    EXPECT_EQ(evals[i].actual_seconds, records[i]->median_seconds);
+  }
+  const QErrorSummary from_evals = Summarize(evals);
+  const QErrorSummary from_errors = Summarize(QErrors(evals));
+  EXPECT_EQ(from_evals.ToString(), from_errors.ToString());
 }
 
 TEST(ReportTest, TableFormatsAlignedColumns) {

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "harness/corpus.h"
 #include "harness/runner.h"
+#include "harness/training.h"
 #include "querygen/querygen.h"
 
 namespace t3 {
@@ -93,6 +95,36 @@ TEST(RunnerTest, LiveCorpusRoundTripsBitExactly) {
   ASSERT_FALSE(b.feat_true.empty());
   EXPECT_EQ(b.feat_true[0].values, a.feat_true[0].values);
   EXPECT_EQ(b.feat_est[0].values, a.feat_est[0].values);
+}
+
+// The harness-side half of this contract (byte-identical cache_model files
+// from Workbench::GetModel) lives in harness_test; this pins the layer it
+// rests on: the training matrix itself is bit-identical however many
+// threads fill it.
+TEST(RunnerTest, TrainingMatrixIsBitIdenticalAcrossPoolSizes) {
+  Result<Corpus> corpus = LoadCorpusFromFile(std::string(T3_SOURCE_DIR) +
+                                             "/data/corpus_mini.txt");
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  const T3Config config;
+  Result<TrainingMatrix> reference = BuildTrainingMatrix(
+      *corpus, nullptr, CardinalityMode::kTrue, config, 0, nullptr);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_EQ(reference->num_features, 48u);
+  EXPECT_EQ(reference->rows.size(),
+            reference->targets.size() * reference->num_features);
+
+  for (const size_t threads : {1u, 3u, 7u}) {
+    ThreadPool pool(threads);
+    Result<TrainingMatrix> parallel = BuildTrainingMatrix(
+        *corpus, nullptr, CardinalityMode::kTrue, config, 0, &pool);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    // std::vector<double> equality is element-wise bitwise equality here:
+    // every value must match the sequential fill exactly.
+    EXPECT_EQ(parallel->rows, reference->rows) << threads << " threads";
+    EXPECT_EQ(parallel->targets, reference->targets) << threads << " threads";
+    EXPECT_EQ(parallel->num_features, reference->num_features);
+  }
 }
 
 TEST(RunnerTest, BenchmarkQueryRejectsZeroRuns) {
