@@ -1,0 +1,149 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace t3 {
+namespace {
+
+Status ErrnoStatus(const char* what, int err) {
+  return UnavailableError(StrFormat("%s: %s", what, std::strerror(err)));
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Status IgnoreSigPipe() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SIG_IGN;
+  if (::sigaction(SIGPIPE, &action, nullptr) != 0) {
+    return ErrnoStatus("sigaction(SIGPIPE)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+Result<ScopedFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return ErrnoStatus("socket", errno);
+
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(StrFormat("bad listen address %s",
+                                          host.c_str()));
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd.get(), backlog) != 0) return ErrnoStatus("listen", errno);
+  Status status = SetNonBlocking(fd.get());
+  if (!status.ok()) return status;
+  return fd;
+}
+
+Result<ScopedFd> ConnectTcp(const std::string& host, uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return ErrnoStatus("socket", errno);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError(StrFormat("bad connect address %s",
+                                          host.c_str()));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect", errno);
+
+  const int one = 1;
+  // Best-effort: prediction frames are small and latency-bound.
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status ReadFull(int fd, void* data, size_t size) {
+  uint8_t* cursor = static_cast<uint8_t*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::read(fd, cursor, remaining);
+    if (n > 0) {
+      cursor += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return UnavailableError("connection closed");
+    if (errno == EINTR) continue;
+    return ErrnoStatus("read", errno);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* data, size_t size) {
+  const uint8_t* cursor = static_cast<const uint8_t*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (n >= 0) {
+      cursor += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace t3

@@ -1,0 +1,79 @@
+#ifndef T3_COMMON_NET_H_
+#define T3_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace t3 {
+
+/// Owning file descriptor: closes on destruction, move-only. The building
+/// block of the prediction server's socket handling (src/server) and the
+/// blocking client side (t3_loadgen, tests).
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+
+  /// Transfers ownership to the caller.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (EINTR-safe) and becomes empty.
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Makes SIGPIPE a no-op process-wide. A prediction server must survive
+/// clients that disconnect mid-response: a write to a half-closed socket
+/// then fails with EPIPE (handled per connection) instead of killing the
+/// process. Idempotent; called by PredictionServer::Start and the client
+/// tools.
+Status IgnoreSigPipe();
+
+/// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd);
+
+/// Opens a TCP listener bound to `host:port` (port 0 picks an ephemeral
+/// port; see LocalPort) with SO_REUSEADDR, in non-blocking mode.
+Result<ScopedFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog = 128);
+
+/// Blocking TCP connect to `host:port` with TCP_NODELAY (the
+/// request/response framing is latency-bound, not bandwidth-bound).
+Result<ScopedFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The locally bound port of a socket — how callers learn the ephemeral
+/// port of a `ListenTcp(host, 0)` listener.
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking exact-count read. Retries EINTR and short reads; a clean peer
+/// close before `size` bytes yields Unavailable ("connection closed").
+Status ReadFull(int fd, void* data, size_t size);
+
+/// Blocking exact-count write (send with MSG_NOSIGNAL). Retries EINTR and
+/// short writes; EPIPE/ECONNRESET yield Unavailable.
+Status WriteFull(int fd, const void* data, size_t size);
+
+}  // namespace t3
+
+#endif  // T3_COMMON_NET_H_

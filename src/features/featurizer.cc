@@ -33,9 +33,30 @@ Result<std::vector<PipelineFeatureVector>> ComputePipelineFeatures(
         "node_output_rows has %zu entries for a %zu-node plan",
         node_output_rows.size(), plan.nodes.size()));
   }
-  Result<std::vector<std::vector<ColumnType>>> schemas =
-      ResolvePlanSchemas(catalog, plan);
-  if (!schemas.ok()) return schemas.status();
+  // Column schemas feed only the predicate-class features. A payload-free
+  // skeleton plan (PlanFromRecords output; the server's kPredictPlan
+  // requests) names no scan tables and rehydrates filters with placeholder
+  // predicates, so it featurizes without consulting the catalog at all —
+  // resolving schemas eagerly would reject it for its missing table
+  // payloads, and placeholder predicates carry no class information.
+  const bool has_scan_payloads = std::any_of(
+      plan.nodes.begin(), plan.nodes.end(), [](const PlanNode& node) {
+        return node.op == PlanOp::kScan && !node.table.empty();
+      });
+  const bool needs_schemas =
+      has_scan_payloads &&
+      std::any_of(plan.nodes.begin(), plan.nodes.end(),
+                  [](const PlanNode& node) {
+                    return node.op == PlanOp::kFilter &&
+                           !node.predicates.empty();
+                  });
+  std::vector<std::vector<ColumnType>> schemas;
+  if (needs_schemas) {
+    Result<std::vector<std::vector<ColumnType>>> resolved =
+        ResolvePlanSchemas(catalog, plan);
+    if (!resolved.ok()) return resolved.status();
+    schemas = *std::move(resolved);
+  }
 
   const FeatureRegistry& registry = FeatureRegistry::Get();
   std::vector<PipelineFeatureVector> result;
@@ -95,9 +116,10 @@ Result<std::vector<PipelineFeatureVector>> ComputePipelineFeatures(
             node_output_rows[static_cast<size_t>(node.right)] / denom);
       }
 
-      if (node.op == PlanOp::kFilter) {
+      if (needs_schemas && node.op == PlanOp::kFilter &&
+          !node.predicates.empty()) {
         const std::vector<ColumnType>& input_schema =
-            (*schemas)[static_cast<size_t>(node.left)];
+            schemas[static_cast<size_t>(node.left)];
         for (const FilterPredicate& predicate : node.predicates) {
           if (predicate.column < 0 ||
               predicate.column >= static_cast<int>(input_schema.size())) {

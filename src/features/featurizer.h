@@ -45,8 +45,10 @@ std::vector<double> NodeOutputRowsFromPlan(const PhysicalPlan& plan);
 /// `node_output_rows` holds one output cardinality per plan node, indexed by
 /// node id; pass NodeOutputRowsFromPlan(plan) for estimated features or
 /// measured counts for true features. The catalog resolves input column
-/// types of filter predicates, so `plan` must carry payloads (a live plan,
-/// not a corpus skeleton).
+/// types of filter predicates only: a plan whose filters carry predicates
+/// must also carry payloads (a live plan), while a predicate-free skeleton
+/// — e.g. a prediction-server kPredictPlan request — featurizes fine with
+/// an empty catalog (its predicate-class slots just stay zero).
 Result<std::vector<PipelineFeatureVector>> ComputePipelineFeatures(
     const Catalog& catalog, const PhysicalPlan& plan,
     const PipelineDecomposition& decomposition,

@@ -97,7 +97,7 @@ Workbench::Workbench(std::string data_dir, WorkbenchOptions options)
 
 Workbench::~Workbench() = default;
 
-ThreadPool& Workbench::pool() {
+ThreadPool& Workbench::PoolLocked() {
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(std::max<size_t>(
         options_.num_threads, 1));
@@ -106,6 +106,11 @@ ThreadPool& Workbench::pool() {
 }
 
 const Corpus& Workbench::corpus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CorpusLocked();
+}
+
+const Corpus& Workbench::CorpusLocked() {
   if (corpus_ != nullptr) return *corpus_;
 
   // Preference order: an explicit override (option, then T3_CORPUS env),
@@ -140,7 +145,7 @@ const Corpus& Workbench::corpus() {
                    "first run)...\n",
                    fixture_path.c_str());
       LiveCorpusOptions options;
-      options.pool = &pool();
+      options.pool = &PoolLocked();
       Stopwatch timer;
       Result<Corpus> live = BuildLiveCorpus(options);
       if (!live.ok()) {
@@ -176,6 +181,15 @@ const T3Model& Workbench::GetModel(const std::string& name,
                                    CardinalityMode mode,
                                    const RecordFilter& train_filter,
                                    const T3Config& config, int runs_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetModelLocked(name, mode, train_filter, config, runs_limit);
+}
+
+const T3Model& Workbench::GetModelLocked(const std::string& name,
+                                         CardinalityMode mode,
+                                         const RecordFilter& train_filter,
+                                         const T3Config& config,
+                                         int runs_limit) {
   const std::string key = name + "_" + ModeSuffix(mode);
   auto it = models_.find(key);
   if (it != models_.end()) return *it->second;
@@ -201,9 +215,9 @@ const T3Model& Workbench::GetModel(const std::string& name,
                  cache_path.c_str(), cached.status().ToString().c_str());
   }
 
-  const Corpus& data = corpus();
+  const Corpus& data = CorpusLocked();
   Result<TrainingMatrix> matrix = BuildTrainingMatrix(
-      data, train_filter, mode, config, runs_limit, &pool());
+      data, train_filter, mode, config, runs_limit, &PoolLocked());
   T3_CHECK_OK(matrix);
 
   TrainParams params = config.train;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,13 @@ std::vector<NamedModelConfig> NamedModelConfigs();
 /// Accessors T3_CHECK on missing artifacts — bench binaries have no
 /// recovery path; library code should use the Status-returning loaders in
 /// harness/corpus.h and harness/training.h instead.
+///
+/// Thread-safe: corpus() and GetModel() may be called concurrently (the
+/// prediction-server tools train the serving model while a SIGHUP swap can
+/// request another). Calls serialize on one internal mutex — concurrent
+/// requests for the same configuration train it exactly once and share the
+/// cached instance; returned references stay valid for the Workbench's
+/// lifetime (entries are never evicted).
 class Workbench {
  public:
   explicit Workbench(std::string data_dir);
@@ -95,10 +103,19 @@ class Workbench {
   const T3Model& GetModel(const NamedModelConfig& named);
 
  private:
-  ThreadPool& pool();
+  // The *Locked variants require mu_ to be held; the public accessors are
+  // thin locking wrappers around them.
+  ThreadPool& PoolLocked();
+  const Corpus& CorpusLocked();
+  const T3Model& GetModelLocked(const std::string& name,
+                                CardinalityMode mode,
+                                const RecordFilter& train_filter,
+                                const T3Config& config, int runs_limit);
 
   std::string data_dir_;
   WorkbenchOptions options_;
+
+  mutable std::mutex mu_;  ///< Guards everything below.
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Corpus> corpus_;
   std::map<std::string, std::unique_ptr<T3Model>> models_;  // by cache key

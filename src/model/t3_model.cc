@@ -23,10 +23,19 @@ Result<T3Model> T3Model::LoadFromFile(const std::string& path) {
     if (line_end == std::string_view::npos) {
       return InvalidArgumentError("truncated t3model header");
     }
-    const int id = std::atoi(
-        std::string(text.substr(value_pos, line_end - value_pos)).c_str());
+    const std::string_view value =
+        text.substr(value_pos, line_end - value_pos);
+    int64_t id = 0;
+    // Strict whole-string parse: "2x" or "" must be rejected, not silently
+    // truncated to a valid target id (std::atoi did exactly that).
+    if (!ParseInt64(value, &id)) {
+      return InvalidArgumentError(
+          StrFormat("malformed t3model target '%.*s'",
+                    static_cast<int>(value.size()), value.data()));
+    }
     if (id < 0 || id > 2) {
-      return InvalidArgumentError(StrFormat("unknown model target %d", id));
+      return InvalidArgumentError(StrFormat(
+          "unknown model target %lld", static_cast<long long>(id)));
     }
     target = static_cast<PredictionTarget>(id);
     text.remove_prefix(line_end + 1);

@@ -1,0 +1,114 @@
+#include "server/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace t3 {
+
+Result<PredictionClient> PredictionClient::Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   double timeout_seconds) {
+  Status sigpipe = IgnoreSigPipe();
+  if (!sigpipe.ok()) return sigpipe;
+  Stopwatch timer;
+  for (;;) {
+    Result<ScopedFd> fd = ConnectTcp(host, port);
+    if (fd.ok()) return PredictionClient(*std::move(fd));
+    if (timer.ElapsedSeconds() >= timeout_seconds) return fd.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status PredictionClient::RawSend(const void* data, size_t size) {
+  return WriteFull(fd_.get(), data, size);
+}
+
+Result<Frame> PredictionClient::RawReceive() {
+  uint8_t header[kFrameHeaderBytes];
+  Status status = ReadFull(fd_.get(), header, sizeof(header));
+  if (!status.ok()) return status;
+  Result<FrameHeader> decoded = DecodeFrameHeader(header);
+  if (!decoded.ok()) return decoded.status();
+  Frame frame;
+  frame.type = decoded->type;
+  frame.payload.resize(decoded->payload_size);
+  if (decoded->payload_size > 0) {
+    status = ReadFull(fd_.get(), frame.payload.data(), frame.payload.size());
+    if (!status.ok()) return status;
+  }
+  return frame;
+}
+
+Result<Frame> PredictionClient::RoundTrip(const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  Status status = RawSend(bytes.data(), bytes.size());
+  if (!status.ok()) return status;
+  return RawReceive();
+}
+
+namespace {
+
+/// Converts a kError reply into its carried status; anything other than
+/// `expected` is a protocol violation.
+Status ExpectType(const Frame& frame, MessageType expected) {
+  if (frame.type == expected) return Status::OK();
+  if (frame.type == MessageType::kError) {
+    Result<ErrorResponse> error = DecodeErrorResponse(frame);
+    if (!error.ok()) return error.status();
+    return Status(error->code, std::move(error->message));
+  }
+  return InvalidArgumentError(
+      StrFormat("server replied with unexpected message type %d",
+                static_cast<int>(frame.type)));
+}
+
+}  // namespace
+
+Result<PredictResponse> PredictionClient::PredictRows(
+    const PredictRowsRequest& request) {
+  Result<Frame> reply = RoundTrip(EncodePredictRows(request));
+  if (!reply.ok()) return reply.status();
+  Status status = ExpectType(*reply, MessageType::kPredictOk);
+  if (!status.ok()) return status;
+  return DecodePredictResponse(*reply);
+}
+
+Result<PredictResponse> PredictionClient::PredictPlan(
+    std::string_view plan_text) {
+  Result<Frame> reply =
+      RoundTrip(EncodeTextFrame(MessageType::kPredictPlan, plan_text));
+  if (!reply.ok()) return reply.status();
+  Status status = ExpectType(*reply, MessageType::kPredictOk);
+  if (!status.ok()) return status;
+  return DecodePredictResponse(*reply);
+}
+
+Result<uint32_t> PredictionClient::Swap(const std::string& path) {
+  Result<Frame> reply =
+      RoundTrip(EncodeTextFrame(MessageType::kSwapModel, path));
+  if (!reply.ok()) return reply.status();
+  Status status = ExpectType(*reply, MessageType::kSwapOk);
+  if (!status.ok()) return status;
+  return DecodeSwapResponse(*reply);
+}
+
+Result<std::string> PredictionClient::Stats() {
+  Result<Frame> reply = RoundTrip(EncodeEmptyFrame(MessageType::kStats));
+  if (!reply.ok()) return reply.status();
+  Status status = ExpectType(*reply, MessageType::kStatsOk);
+  if (!status.ok()) return status;
+  return std::string(reinterpret_cast<const char*>(reply->payload.data()),
+                     reply->payload.size());
+}
+
+Status PredictionClient::Shutdown() {
+  Result<Frame> reply = RoundTrip(EncodeEmptyFrame(MessageType::kShutdown));
+  if (!reply.ok()) return reply.status();
+  return ExpectType(*reply, MessageType::kShutdownOk);
+}
+
+}  // namespace t3

@@ -261,6 +261,39 @@ TEST(T3ModelTest, SaveLoadPreservesTargetAndForest) {
   EXPECT_EQ(reloaded->forest().ToText(), model.forest().ToText());
 }
 
+TEST(T3ModelTest, RejectsMalformedTargetHeader) {
+  // Regression: the header value was parsed with std::atoi, which silently
+  // truncates "2x" to the valid target 2 and reads "" as 0. The strict
+  // parser must reject the whole file instead.
+  const std::string fixture =
+      std::string(T3_SOURCE_DIR) + "/tests/data/model_bad_target.txt";
+  Result<T3Model> bad = T3Model::LoadFromFile(fixture);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  Result<T3Model> good_fixture_body = T3Model::LoadFromFile(
+      std::string(T3_SOURCE_DIR) + "/tests/data/model_corrupt.txt");
+  // The same forest body with target "0" gets past the header (it fails
+  // later, in the forest validator) — proof the fixture above fails on the
+  // header, not the body.
+  if (!good_fixture_body.ok()) {
+    EXPECT_EQ(good_fixture_body.status().code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  for (const char* header : {"t3model target 2x\n", "t3model target \n",
+                             "t3model target -0x1\n",
+                             "t3model target 99999999999999999999\n"}) {
+    const std::string path = testing::TempDir() + "/t3_model_bad_header.txt";
+    ASSERT_TRUE(WriteStringToFile(path, std::string(header) +
+                                            "t3gbt v1\nnum_features 1\n"
+                                            "base_score 0\nnum_trees 0\n")
+                    .ok());
+    Result<T3Model> loaded = T3Model::LoadFromFile(path);
+    EXPECT_FALSE(loaded.ok()) << "header accepted: " << header;
+  }
+}
+
 TEST(T3ModelTest, TargetTransformRoundTrips) {
   for (double seconds : {1e-9, 4.2e-6, 0.37, 12.0}) {
     EXPECT_NEAR(InverseTransformTarget(TransformTarget(seconds)), seconds,

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -390,6 +391,54 @@ TEST(WorkbenchTest, TrainingIsByteDeterministicAcrossThreadCounts) {
           << " threads diverged from the single-threaded run";
     }
   }
+}
+
+TEST(WorkbenchTest, GetModelIsThreadSafeUnderConcurrentCallers) {
+  // Regression: the model-cache map had no locking, so two threads
+  // requesting models concurrently raced on `models_` (a crash or a
+  // double-train under TSan/ASan). The prediction server trains its
+  // serving model while a SIGHUP swap can request another, so GetModel
+  // must serialize internally. Hammer it from several threads asking for
+  // the same and for different configurations; every same-name call must
+  // return the same instance (trained exactly once).
+  const std::string dir = MakeScratchDataDir("concurrent_getmodel");
+  Workbench workbench(dir, MiniCorpusOptions());
+
+  T3Config small;
+  small.train.num_trees = 8;
+  T3Config per_pipeline = small;
+  per_pipeline.target = PredictionTarget::kPerPipeline;
+
+  constexpr int kThreads = 8;
+  const T3Model* mains[kThreads] = {};
+  const T3Model* others[kThreads] = {};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      mains[i] = &workbench.GetModel("main", CardinalityMode::kTrue,
+                                     nullptr, small);
+      others[i] = &workbench.GetModel(
+          i % 2 == 0 ? "conc_a" : "conc_b", CardinalityMode::kTrue, nullptr,
+          i % 2 == 0 ? small : per_pipeline);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(mains[i], nullptr);
+    EXPECT_EQ(mains[i], mains[0]) << "thread " << i;
+    ASSERT_NE(others[i], nullptr);
+    EXPECT_EQ(others[i], others[i % 2]) << "thread " << i;
+  }
+  EXPECT_EQ(others[0]->target(), PredictionTarget::kPerTuple);
+  EXPECT_EQ(others[1]->target(), PredictionTarget::kPerPipeline);
+
+  // The scratch-dir hygiene of MakeScratchDataDir only clears registry
+  // names; clear this test's extra cache files for the next run.
+  std::remove(CacheModelPath(dir, "conc_a", CardinalityMode::kTrue).c_str());
+  std::remove(CacheModelPath(dir, "conc_b", CardinalityMode::kTrue).c_str());
+  std::remove(CacheModelPath(dir, "main", CardinalityMode::kTrue).c_str());
 }
 
 TEST(WorkbenchTest, CorruptCacheIsRejectedAndRetrained) {
